@@ -1,0 +1,148 @@
+package ras_test
+
+// Ablation benchmarks for the design choices the paper's §3.5.2 and this
+// repository's DESIGN.md call out: symmetry exploitation, two-phase
+// solving, and the branch-and-bound LP warm-start machinery. Each pair runs
+// the same workload with the feature on and off; compare the reported
+// assignvars/op, lpiters/op, and ns/op.
+
+import (
+	"testing"
+	"time"
+
+	"ras/internal/broker"
+	"ras/internal/hardware"
+	"ras/internal/localsearch"
+	"ras/internal/reservation"
+	"ras/internal/solver"
+	"ras/internal/topology"
+)
+
+// ablationWorkload builds the fixed region + reservations every ablation
+// bench solves.
+func ablationWorkload(b *testing.B) (*topology.Region, []reservation.Reservation, []broker.ServerState) {
+	b.Helper()
+	region, err := topology.Generate(topology.GenSpec{
+		Name: "ablation", DCs: 2, MSBsPerDC: 3, RacksPerMSB: 6, ServersPerRack: 6, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := []hardware.Class{hardware.Web, hardware.Feed1, hardware.Feed2, hardware.DataStore, hardware.FleetAvg}
+	var rsvs []reservation.Reservation
+	n := 6
+	per := float64(len(region.Servers)) * 0.7 / float64(n)
+	for i := 0; i < n; i++ {
+		rsvs = append(rsvs, reservation.Reservation{
+			ID: reservation.ID(i), Name: "svc", Class: classes[i%len(classes)],
+			RRUs: per, CountBased: true, Policy: reservation.DefaultPolicy(),
+		})
+	}
+	return region, rsvs, broker.New(region).Snapshot()
+}
+
+func runAblation(b *testing.B, cfg solver.Config) {
+	b.Helper()
+	region, rsvs, states := ablationWorkload(b)
+	cfg.Phase1TimeLimit = 20 * time.Second
+	cfg.Phase2TimeLimit = 5 * time.Second
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = 100
+	}
+	cfg.SharedBufferFraction = -1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(solver.Input{Region: region, Reservations: rsvs, States: states}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Phase1.AssignVars), "assignvars")
+			b.ReportMetric(float64(res.Phase1.LPIters), "lpiters")
+			b.ReportMetric(res.Phase1.GapPreemptions, "gap-preempt")
+			b.ReportMetric(res.Phase1.SoftSlack, "softslack")
+		}
+	}
+}
+
+// BenchmarkAblationSymmetryOn solves with equivalence-class grouping (the
+// production configuration, paper §3.5.2).
+func BenchmarkAblationSymmetryOn(b *testing.B) {
+	runAblation(b, solver.Config{})
+}
+
+// BenchmarkAblationSymmetryOff solves the raw per-server formulation the
+// symmetry exploitation exists to avoid. Expect assignvars to blow up by
+// roughly servers/groups and the solve to slow down accordingly.
+func BenchmarkAblationSymmetryOff(b *testing.B) {
+	runAblation(b, solver.Config{DisableSymmetry: true})
+}
+
+// BenchmarkAblationTwoPhase is the production two-phase configuration:
+// region-wide MSB goals first, rack goals for the worst reservations after.
+func BenchmarkAblationTwoPhase(b *testing.B) {
+	runAblation(b, solver.Config{})
+}
+
+// BenchmarkAblationSinglePhaseRack folds rack goals into one region-wide
+// phase — the "without phasing, the full problems would be at least 10x
+// larger" configuration of §4.1.3.
+func BenchmarkAblationSinglePhaseRack(b *testing.B) {
+	runAblation(b, solver.Config{RackGoalsInPhase1: true})
+}
+
+// BenchmarkAblationWarmStartOn uses LP warm starts between branch-and-bound
+// node and heuristic solves (basis export + dual-simplex repair).
+func BenchmarkAblationWarmStartOn(b *testing.B) {
+	runAblation(b, solver.Config{})
+}
+
+// BenchmarkAblationWarmStartOff cold-starts every LP. Expect lpiters to
+// grow by an order of magnitude for the same search.
+func BenchmarkAblationWarmStartOff(b *testing.B) {
+	runAblation(b, solver.Config{DisableWarmStart: true})
+}
+
+// BenchmarkBackendMIP solves the ablation workload with the MIP backend —
+// the backend ReBalancer picks for RAS (§6): better placement quality,
+// minutes-scale budget in production.
+func BenchmarkBackendMIP(b *testing.B) {
+	region, rsvs, states := ablationWorkload(b)
+	cfg := solver.Config{
+		Phase1TimeLimit: 20 * time.Second, Phase2TimeLimit: 5 * time.Second,
+		MaxNodes: 100, SharedBufferFraction: -1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(solver.Input{Region: region, Reservations: rsvs, States: states}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Phase1.Objective, "objective")
+			b.ReportMetric(res.Phase1.SoftSlack, "softslack")
+		}
+	}
+}
+
+// BenchmarkBackendLocalSearch solves the same workload with the local-search
+// backend — the one ReBalancer picks for near-realtime users like Shard
+// Manager (§6): seconds-scale, slightly worse placement quality.
+func BenchmarkBackendLocalSearch(b *testing.B) {
+	region, rsvs, states := ablationWorkload(b)
+	cfg := localsearch.Config{TimeLimit: 2 * time.Second, Seed: 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := localsearch.Solve(solver.Input{Region: region, Reservations: rsvs, States: states}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Objective, "objective")
+			b.ReportMetric(float64(res.Steps), "steps")
+		}
+	}
+}

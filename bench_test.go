@@ -1,0 +1,99 @@
+package ras_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation. Each
+// bench runs the corresponding experiment at small scale (benchmarks run
+// many iterations; use cmd/rasbench -scale medium|large for the full
+// paper-vs-measured regeneration) and reports domain-specific metrics via
+// b.ReportMetric alongside the usual ns/op.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem ./...
+//	go run ./cmd/rasbench -all -scale medium
+
+import (
+	"testing"
+
+	"ras/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration and fails the benchmark
+// if the paper's qualitative shape stops reproducing.
+func benchExperiment(b *testing.B, id string, run func(experiments.Scale) (*experiments.Report, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := run(experiments.ScaleSmall)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !rep.ShapeHolds {
+			b.Fatalf("%s: paper shape did not reproduce:\n%s", id, rep)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.Elapsed.Seconds(), "exp-s")
+		}
+	}
+}
+
+// BenchmarkFig2Heterogeneity regenerates Figure 2: hardware heterogeneity
+// across MSBs (9 categories / 12 subtypes, strong per-MSB variance).
+func BenchmarkFig2Heterogeneity(b *testing.B) { benchExperiment(b, "fig2", experiments.Fig2) }
+
+// BenchmarkFig3RelativeValue regenerates Figure 3: relative value across
+// processor generations (Web 1.47x/1.82x, DataStore flat).
+func BenchmarkFig3RelativeValue(b *testing.B) { benchExperiment(b, "fig3", experiments.Fig3) }
+
+// BenchmarkFig4Requests regenerates Figure 4: capacity-request sizes and
+// hardware fungibility distribution.
+func BenchmarkFig4Requests(b *testing.B) { benchExperiment(b, "fig4", experiments.Fig4) }
+
+// BenchmarkFig5Unavailability regenerates Figure 5: a month of planned and
+// unplanned unavailability with one correlated MSB failure.
+func BenchmarkFig5Unavailability(b *testing.B) { benchExperiment(b, "fig5", experiments.Fig5) }
+
+// BenchmarkFig7AllocTime regenerates Figure 7: the allocation-time
+// distribution across perturbed production-style solves.
+func BenchmarkFig7AllocTime(b *testing.B) { benchExperiment(b, "fig7", experiments.Fig7) }
+
+// BenchmarkFig8Breakdown regenerates Figure 8: the allocation-time
+// breakdown (RAS build / solver build / initial state / MIP) per phase.
+func BenchmarkFig8Breakdown(b *testing.B) { benchExperiment(b, "fig8", experiments.Fig8) }
+
+// BenchmarkFig9Gap regenerates Figure 9: the phase-1 MIP quality gap in
+// preemption units and the softened-constraint fix rate.
+func BenchmarkFig9Gap(b *testing.B) { benchExperiment(b, "fig9", experiments.Fig9) }
+
+// BenchmarkFig10Setup regenerates Figure 10: setup time vs assignment
+// variables (linear growth).
+func BenchmarkFig10Setup(b *testing.B) { benchExperiment(b, "fig10", experiments.Fig10) }
+
+// BenchmarkFig11Memory regenerates Figure 11: solver memory vs assignment
+// variables (linear growth).
+func BenchmarkFig11Memory(b *testing.B) { benchExperiment(b, "fig11", experiments.Fig11) }
+
+// BenchmarkFig12Buffers regenerates Figure 12: correlated-failure buffer
+// reduction as RAS replaces greedy assignment (15.1% → 4.2% in the paper).
+func BenchmarkFig12Buffers(b *testing.B) { benchExperiment(b, "fig12", experiments.Fig12) }
+
+// BenchmarkFig13Spread regenerates Figure 13: near-uniform service spread
+// across MSBs with hardware/affinity exceptions.
+func BenchmarkFig13Spread(b *testing.B) { benchExperiment(b, "fig13", experiments.Fig13) }
+
+// BenchmarkFig14Power regenerates Figure 14: normalized power variance
+// across MSBs dropping under RAS.
+func BenchmarkFig14Power(b *testing.B) { benchExperiment(b, "fig14", experiments.Fig14) }
+
+// BenchmarkFig15Network regenerates Figure 15: cross-datacenter traffic
+// reduction from the network-affinity constraint (expression 7).
+func BenchmarkFig15Network(b *testing.B) { benchExperiment(b, "fig15", experiments.Fig15) }
+
+// BenchmarkFig16Churn regenerates Figure 16: weekly in-use vs unused server
+// move churn with diurnal spikes.
+func BenchmarkFig16Churn(b *testing.B) { benchExperiment(b, "fig16", experiments.Fig16) }
+
+// BenchmarkBufferAccounting regenerates the §3.3 capacity split: guaranteed
+// vs shared random buffer vs embedded buffers, against the waterfill bound.
+func BenchmarkBufferAccounting(b *testing.B) {
+	benchExperiment(b, "buffers", experiments.BufferAccounting)
+}

@@ -1,0 +1,110 @@
+// Command rasbench regenerates every table and figure of the paper's
+// evaluation (§4) against the synthetic region substrate and prints
+// paper-vs-measured reports. Its output is the source for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rasbench -all                 # run every experiment at the default scale
+//	rasbench -run fig12,fig14     # run a subset
+//	rasbench -scale large         # paper-like 36-MSB regions (slow)
+//	rasbench -list                # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ras/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		run      = flag.String("run", "", "comma-separated experiment IDs (see -list)")
+		scaleStr = flag.String("scale", "medium", "experiment scale: small, medium, large")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		md       = flag.Bool("md", false, "emit Markdown (EXPERIMENTS.md body) instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleStr {
+	case "small":
+		scale = experiments.ScaleSmall
+	case "medium":
+		scale = experiments.ScaleMedium
+	case "large":
+		scale = experiments.ScaleLarge
+	default:
+		fmt.Fprintf(os.Stderr, "rasbench: unknown scale %q\n", *scaleStr)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	} else if !*all {
+		fmt.Fprintln(os.Stderr, "rasbench: pass -all or -run <ids>; see -list")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	failures := 0
+	ran := 0
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran++
+		rep, err := e.Run(scale)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "rasbench: %s failed: %v\n", e.ID, err)
+			continue
+		}
+		if *md {
+			printMarkdown(rep)
+		} else {
+			fmt.Println(rep)
+		}
+		if !rep.ShapeHolds {
+			failures++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rasbench: %d experiments at scale %s in %.0fs, %d diverged\n",
+		ran, scale, time.Since(start).Seconds(), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func printMarkdown(r *experiments.Report) {
+	fmt.Printf("### %s — %s\n\n", r.ID, r.Title)
+	fmt.Printf("**Paper:** %s\n\n", r.PaperClaim)
+	fmt.Printf("**Measured:**\n\n```\n")
+	for _, m := range r.Measured {
+		fmt.Println(m)
+	}
+	fmt.Printf("```\n\n")
+	verdict := "shape holds"
+	if !r.ShapeHolds {
+		verdict = "shape diverges"
+	}
+	fmt.Printf("**Verdict:** %s (%.1fs)", verdict, r.Elapsed.Seconds())
+	if r.Notes != "" {
+		fmt.Printf(" — %s", r.Notes)
+	}
+	fmt.Printf("\n\n")
+}

@@ -1,0 +1,202 @@
+// Command rassolve runs one async-solver round over a region description
+// read from JSON (or a synthetic region) and writes the resulting
+// server-to-reservation assignment as JSON, making the solver usable as a
+// standalone tool.
+//
+// Usage:
+//
+//	rassolve -in region.json > assignment.json
+//	rassolve -synthetic -dcs 2 -msbs 3 -reservations 4 > assignment.json
+//
+// Input schema (JSON):
+//
+//	{
+//	  "region": {"dcs": 2, "msbsPerDC": 3, "racksPerMSB": 4, "serversPerRack": 8, "seed": 1},
+//	  "reservations": [
+//	    {"name": "web", "class": "Web", "rrus": 120, "countBased": true}
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ras"
+	"ras/internal/broker"
+	"ras/internal/hardware"
+	"ras/internal/reservation"
+	"ras/internal/solver"
+	"ras/internal/topology"
+)
+
+type inputDoc struct {
+	Region       topology.GenSpec `json:"region"`
+	Reservations []resDoc         `json:"reservations"`
+}
+
+type resDoc struct {
+	Name       string  `json:"name"`
+	Class      string  `json:"class"`
+	RRUs       float64 `json:"rrus"`
+	CountBased bool    `json:"countBased"`
+	SingleDC   *int    `json:"singleDC,omitempty"`
+}
+
+type outputDoc struct {
+	Servers    []serverOut      `json:"servers"`
+	Phase1     statsOut         `json:"phase1"`
+	Phase2     *statsOut        `json:"phase2,omitempty"`
+	Moves      solver.MoveStats `json:"moves"`
+	ByRes      map[string]int   `json:"serversPerReservation"`
+	ElapsedSec float64          `json:"elapsedSec"`
+}
+
+type serverOut struct {
+	ID   int    `json:"id"`
+	Type string `json:"type"`
+	MSB  int    `json:"msb"`
+	DC   int    `json:"dc"`
+	Res  string `json:"reservation"`
+}
+
+type statsOut struct {
+	AssignVars     int     `json:"assignVars"`
+	Groups         int     `json:"symmetryGroups"`
+	Status         string  `json:"status"`
+	GapPreemptions float64 `json:"gapPreemptions"`
+	SoftSlack      float64 `json:"softSlack"`
+	TotalSec       float64 `json:"totalSec"`
+}
+
+func classByName(name string) (hardware.Class, bool) {
+	for _, c := range hardware.Classes() {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input JSON file ('-' or empty with -synthetic)")
+		synthetic = flag.Bool("synthetic", false, "generate a synthetic region and reservations")
+		dcs       = flag.Int("dcs", 2, "synthetic: datacenters")
+		msbs      = flag.Int("msbs", 3, "synthetic: MSBs per DC")
+		nres      = flag.Int("reservations", 4, "synthetic: reservation count")
+		timeLimit = flag.Duration("time-limit", 10*time.Second, "phase-1 MIP time limit")
+	)
+	flag.Parse()
+
+	var doc inputDoc
+	switch {
+	case *synthetic:
+		doc.Region = topology.GenSpec{Name: "synthetic", DCs: *dcs, MSBsPerDC: *msbs,
+			RacksPerMSB: 6, ServersPerRack: 6, Seed: 1}
+		total := *dcs * *msbs * 36
+		for i := 0; i < *nres; i++ {
+			doc.Reservations = append(doc.Reservations, resDoc{
+				Name:       fmt.Sprintf("svc-%d", i),
+				Class:      hardware.Class(i % 5).String(),
+				RRUs:       float64(total) * 0.7 / float64(*nres),
+				CountBased: true,
+			})
+		}
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := json.NewDecoder(f).Decode(&doc); err != nil {
+			log.Fatalf("rassolve: parse %s: %v", *in, err)
+		}
+	default:
+		if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
+			log.Fatalf("rassolve: parse stdin: %v", err)
+		}
+	}
+
+	region, err := ras.NewRegion(doc.Region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rsvs []reservation.Reservation
+	for i, rd := range doc.Reservations {
+		cl, ok := classByName(rd.Class)
+		if !ok {
+			log.Fatalf("rassolve: unknown class %q (want one of %v)", rd.Class, hardware.Classes())
+		}
+		pol := reservation.DefaultPolicy()
+		if rd.SingleDC != nil {
+			pol.SingleDC = *rd.SingleDC
+		}
+		rsvs = append(rsvs, reservation.Reservation{
+			ID: reservation.ID(i), Name: rd.Name, Class: cl,
+			RRUs: rd.RRUs, CountBased: rd.CountBased, Policy: pol,
+		})
+	}
+
+	b := broker.New(region)
+	start := time.Now()
+	res, err := solver.Solve(solver.Input{
+		Region: region, Reservations: rsvs, States: b.Snapshot(),
+	}, solver.Config{Phase1TimeLimit: *timeLimit, Phase2TimeLimit: *timeLimit / 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := outputDoc{
+		ByRes:      map[string]int{},
+		ElapsedSec: time.Since(start).Seconds(),
+		Moves:      res.Moves,
+		Phase1:     toStats(res.Phase1),
+	}
+	if res.RanPhase2 {
+		s := toStats(res.Phase2)
+		out.Phase2 = &s
+	}
+	nameOf := func(id reservation.ID) string {
+		switch {
+		case id == reservation.Unassigned:
+			return ""
+		case id == reservation.SharedBuffer:
+			return "shared-buffer"
+		case int(id) < len(rsvs):
+			return rsvs[id].Name
+		}
+		return fmt.Sprintf("res-%d", id)
+	}
+	for i, tgt := range res.Targets {
+		srv := region.Servers[i]
+		name := nameOf(tgt)
+		if name == "" {
+			continue // free pool
+		}
+		out.Servers = append(out.Servers, serverOut{
+			ID: i, Type: region.Catalog.Type(srv.Type).ID, MSB: srv.MSB, DC: srv.DC, Res: name,
+		})
+		out.ByRes[name]++
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func toStats(p solver.PhaseStats) statsOut {
+	return statsOut{
+		AssignVars:     p.AssignVars,
+		Groups:         p.Groups,
+		Status:         p.Status.String(),
+		GapPreemptions: p.GapPreemptions,
+		SoftSlack:      p.SoftSlack,
+		TotalSec:       p.Total().Seconds(),
+	}
+}

@@ -1,0 +1,119 @@
+package ras_test
+
+import (
+	"strings"
+	"testing"
+
+	"ras"
+)
+
+func TestEmergencyGrantFromFreePool(t *testing.T) {
+	sys := testSystem(t)
+	id, err := sys.CreateReservation(ras.Reservation{
+		Name: "urgent", Class: ras.Web, RRUs: 5, CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No solve has run: the grant must come entirely from the free pool,
+	// immediately.
+	granted, err := sys.EmergencyGrant(id, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) < 5 {
+		t.Fatalf("granted %d servers for 5 count-based RRUs", len(granted))
+	}
+	if got := len(sys.Broker().ServersIn(id)); got < 5 {
+		t.Fatalf("broker shows %d servers", got)
+	}
+}
+
+func TestEmergencyGrantDipsIntoBuffer(t *testing.T) {
+	sys := testSystem(t)
+	region := sys.Region()
+	// Fill the region so the free pool is tiny; buffers exist after solve.
+	big, err := sys.CreateReservation(ras.Reservation{
+		Name: "big", Class: ras.FleetAvg, RRUs: float64(len(region.Servers)) * 0.93,
+		CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Solve(0); err != nil {
+		t.Fatal(err)
+	}
+	bufBefore := len(sys.Broker().ServersIn(ras.SharedBuffer))
+	if bufBefore == 0 {
+		t.Skip("no buffer materialized at this size")
+	}
+	urgent, err := sys.CreateReservation(ras.Reservation{
+		Name: "urgent", Class: ras.FleetAvg, RRUs: float64(bufBefore + 2),
+		CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, err := sys.EmergencyGrant(urgent, float64(bufBefore+2))
+	// The grant may or may not fully succeed depending on free leftovers;
+	// either way it must have consumed buffer servers.
+	bufAfter := len(sys.Broker().ServersIn(ras.SharedBuffer))
+	if bufAfter >= bufBefore {
+		t.Fatalf("buffer not tapped: %d → %d (granted %d, err %v)",
+			bufBefore, bufAfter, len(granted), err)
+	}
+	_ = big
+}
+
+func TestEmergencyGrantReportsShortfall(t *testing.T) {
+	sys := testSystem(t)
+	id, err := sys.CreateReservation(ras.Reservation{
+		Name: "impossible", Class: ras.Web, RRUs: 1e9, CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, err := sys.EmergencyGrant(id, 1e9)
+	if err == nil {
+		t.Fatal("impossible grant must report a shortfall")
+	}
+	if !strings.Contains(err.Error(), "short by") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if len(granted) == 0 {
+		t.Fatal("partial grant must still happen during an emergency")
+	}
+}
+
+func TestEmergencyGrantCorrectedByNextSolve(t *testing.T) {
+	sys := testSystem(t)
+	id, err := sys.CreateReservation(ras.Reservation{
+		Name: "svc", Class: ras.Web, RRUs: 20, CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.EmergencyGrant(id, 20); err != nil {
+		t.Fatal(err)
+	}
+	// The emergency grant ignored spread; the next solve must restore the
+	// single-MSB-loss guarantee (§5.4: "future solves will correct any
+	// placement guarantees that were broken").
+	if _, err := sys.Solve(0); err != nil {
+		t.Fatal(err)
+	}
+	_, surviving, err := sys.GuaranteedRRUs(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surviving < 20 {
+		t.Fatalf("post-solve capacity %0.1f does not survive an MSB loss", surviving)
+	}
+}
+
+func TestEmergencyGrantUnknownReservation(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := sys.EmergencyGrant(999, 5); err == nil {
+		t.Fatal("unknown reservation must error")
+	}
+}

@@ -1,0 +1,88 @@
+// Capacity planning with relative resource units (RRUs): the same request
+// can be fulfilled by different hardware generations with equivalent
+// aggregate throughput (paper §3.1, Figure 3). This example plans capacity
+// for services with very different hardware affinities and shows how RAS
+// composes heterogeneous servers per reservation — plus what happens when a
+// service constrains itself to a single hardware type or datacenter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ras"
+	"ras/internal/hardware"
+)
+
+func main() {
+	region, err := ras.NewRegion(ras.RegionSpec{
+		Name: "planning", DCs: 3, MSBsPerDC: 3,
+		RacksPerMSB: 6, ServersPerRack: 8, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := ras.NewSystem(region, ras.Options{})
+
+	fmt.Println("relative value per processor generation (Figure 3):")
+	for _, c := range []ras.Class{ras.DataStore, ras.Feed1, ras.Feed2, ras.Web} {
+		fmt.Printf("  %-10v GenI %.2f  GenII %.2f  GenIII %.2f\n", c,
+			hardware.RelativeValue(c, hardware.GenI),
+			hardware.RelativeValue(c, hardware.GenII),
+			hardware.RelativeValue(c, hardware.GenIII))
+	}
+
+	// Web gains a lot from new generations: 100 RRUs may be ~55 GenIII
+	// servers or ~100 GenI servers; the solver picks the efficient mix.
+	web, err := sys.CreateReservation(ras.Reservation{
+		Name: "web", Class: ras.Web, RRUs: 100, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// DataStore is generation-agnostic but needs flash: restrict to the
+	// storage types.
+	var flashTypes []int
+	for i := 0; i < region.Catalog.Len(); i++ {
+		if region.Catalog.Type(i).FlashTB > 0 {
+			flashTypes = append(flashTypes, i)
+		}
+	}
+	store, err := sys.CreateReservation(ras.Reservation{
+		Name: "datastore", Class: ras.DataStore, RRUs: 40,
+		EligibleTypes: flashTypes, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ML training wants accelerators and single-DC locality (bandwidth).
+	mlPolicy := ras.DefaultPolicy()
+	mlPolicy.SingleDC = 2
+	ml, err := sys.CreateReservation(ras.Reservation{
+		Name: "ml-train", Class: ras.BatchML, RRUs: 30, Policy: mlPolicy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := sys.Solve(0); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range []ras.ReservationID{web, store, ml} {
+		r, _ := sys.Reservations().Get(id)
+		servers := sys.Broker().ServersIn(id)
+		byType := map[string]int{}
+		byDC := map[int]int{}
+		for _, sid := range servers {
+			srv := region.Server(sid)
+			byType[region.Catalog.Type(srv.Type).ID]++
+			byDC[srv.DC]++
+		}
+		total, surviving, _ := sys.GuaranteedRRUs(id)
+		fmt.Printf("\n%s: requested %.0f RRUs → %d servers delivering %.1f RRUs (%.1f after worst MSB loss)\n",
+			r.Name, r.RRUs, len(servers), total, surviving)
+		fmt.Printf("  hardware mix: %v\n", byType)
+		fmt.Printf("  datacenters:  %v\n", byDC)
+	}
+}

@@ -1,0 +1,80 @@
+// Elastic reservations (paper §3.4): when failure buffers are not actively
+// absorbing failures or maintenance, the online mover loans them to elastic
+// reservations — opportunistic compute like async batch or offline ML
+// training — and revokes them the moment failure handling needs the
+// capacity back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ras"
+	"ras/internal/broker"
+	"ras/internal/sim"
+)
+
+func main() {
+	region, err := ras.NewRegion(ras.RegionSpec{
+		Name: "elastic", DCs: 2, MSBsPerDC: 2,
+		RacksPerMSB: 6, ServersPerRack: 10, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := ras.NewSystem(region, ras.Options{})
+
+	// A guaranteed service plus an elastic batch platform. The elastic
+	// reservation gets NO solver capacity: it lives entirely off loans.
+	web, err := sys.CreateReservation(ras.Reservation{
+		Name: "web", Class: ras.Web, RRUs: float64(len(region.Servers)) * 0.5,
+		CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := sys.CreateReservation(ras.Reservation{
+		Name: "async-batch", Class: ras.FleetAvg, RRUs: 0,
+		Elastic: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := sys.Solve(0); err != nil {
+		log.Fatal(err)
+	}
+	bufServers := sys.Broker().ServersIn(ras.SharedBuffer)
+	fmt.Printf("after solve: %d servers in the shared random-failure buffer (2%% of fleet)\n", len(bufServers))
+
+	// Idle buffers are loaned out to the elastic platform.
+	loans := sys.LoanBuffersToElastic()
+	fmt.Printf("loaned %d idle buffer servers to %q\n", loans, "async-batch")
+
+	// The elastic platform runs containers on borrowed capacity.
+	placed := 0
+	for i := 0; i < loans*2; i++ {
+		if _, err := sys.PlaceContainer(batch, "async-batch/crunch", 2); err != nil {
+			break
+		}
+		placed++
+	}
+	fmt.Printf("elastic platform placed %d containers on borrowed servers\n", placed)
+
+	// A random failure in the guaranteed service: the mover revokes a loan
+	// (evicting the preemptible elastic work) and moves the buffer server in.
+	victim := sys.Broker().ServersIn(web)[3]
+	before := sys.Mover().Stats()
+	sys.Broker().SetUnavailable(victim, broker.RandomFailure, sim.Hour, sim.Day)
+	after := sys.Mover().Stats()
+	fmt.Printf("\nrandom failure of server %d in %q:\n", victim, "web")
+	fmt.Printf("  replacements %d → %d, loan revocations %d → %d\n",
+		before.Replacements, after.Replacements, before.Revocations, after.Revocations)
+
+	_, _, running := sys.Allocator().Stats()
+	fmt.Printf("  elastic containers still running: %d (evicted work is preemptible by contract)\n", running)
+
+	total, _, _ := sys.GuaranteedRRUs(web)
+	r, _ := sys.Reservations().Get(web)
+	fmt.Printf("\n%q capacity after replacement: %.0f RRUs vs %.0f requested\n", "web", total, r.RRUs)
+}

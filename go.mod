@@ -1,0 +1,3 @@
+module ras
+
+go 1.22

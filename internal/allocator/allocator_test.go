@@ -1,0 +1,186 @@
+package allocator
+
+import (
+	"errors"
+	"testing"
+
+	"ras/internal/broker"
+	"ras/internal/reservation"
+	"ras/internal/topology"
+)
+
+func setup(t testing.TB) (*broker.Broker, *Allocator) {
+	t.Helper()
+	region, err := topology.Generate(topology.GenSpec{
+		DCs: 1, MSBsPerDC: 1, RacksPerMSB: 2, ServersPerRack: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(region)
+	return b, New(b, 8)
+}
+
+func bind(b *broker.Broker, res reservation.ID, ids ...topology.ServerID) {
+	for _, id := range ids {
+		b.SetCurrent(id, res)
+	}
+}
+
+func TestPlaceWithinReservationOnly(t *testing.T) {
+	b, a := setup(t)
+	bind(b, 1, 0, 1)
+	bind(b, 2, 2)
+	id, err := a.Place(1, "job", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Server != 0 && c.Server != 1 {
+		t.Fatalf("container landed on server %d outside reservation 1", c.Server)
+	}
+	if _, err := a.Place(3, "job", 1); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("empty reservation: %v", err)
+	}
+}
+
+func TestPlaceUpdatesBrokerContainers(t *testing.T) {
+	b, a := setup(t)
+	bind(b, 1, 0)
+	id, _ := a.Place(1, "job", 1)
+	c, _ := a.Get(id)
+	if b.State(c.Server).Containers != 1 {
+		t.Fatal("broker container count not updated")
+	}
+	a.Stop(id)
+	if b.State(c.Server).Containers != 0 {
+		t.Fatal("broker container count not cleared")
+	}
+}
+
+func TestStackingLimit(t *testing.T) {
+	b, a := setup(t)
+	bind(b, 1, 0) // one server, 8 units
+	for i := 0; i < 8; i++ {
+		if _, err := a.Place(1, "j", 1); err != nil {
+			t.Fatalf("placement %d failed: %v", i, err)
+		}
+	}
+	if _, err := a.Place(1, "j", 1); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("9th unit on an 8-unit server: %v", err)
+	}
+}
+
+func TestPlaceSizeValidation(t *testing.T) {
+	_, a := setup(t)
+	if _, err := a.Place(1, "j", 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := a.Place(1, "j", 9); err == nil {
+		t.Fatal("oversized container accepted")
+	}
+}
+
+func TestBestFitPacking(t *testing.T) {
+	b, a := setup(t)
+	bind(b, 1, 0, 1)
+	// Load server A with 6 units, B empty. A 2-unit container must go to A
+	// (most loaded that fits), preserving B's large hole.
+	first, _ := a.Place(1, "j", 6)
+	fc, _ := a.Get(first)
+	second, _ := a.Place(1, "j", 2)
+	sc, _ := a.Get(second)
+	if sc.Server != fc.Server {
+		t.Fatalf("best-fit broke: 2-unit container on %d, want %d", sc.Server, fc.Server)
+	}
+}
+
+func TestUnavailableServersSkipped(t *testing.T) {
+	b, a := setup(t)
+	bind(b, 1, 0)
+	b.SetUnavailable(0, broker.RandomFailure, 0, 0)
+	if _, err := a.Place(1, "j", 1); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("placed on failed server: %v", err)
+	}
+}
+
+func TestLoanedServersServeBorrowerOnly(t *testing.T) {
+	b, a := setup(t)
+	bind(b, reservation.SharedBuffer, 0)
+	b.SetLoan(0, 9) // elastic reservation 9 borrows it
+	if _, err := a.Place(reservation.SharedBuffer, "j", 1); !errors.Is(err, ErrNoCapacity) {
+		t.Fatal("owner must not use a loaned-out server")
+	}
+	if _, err := a.Place(9, "j", 1); err != nil {
+		t.Fatalf("borrower cannot use the loan: %v", err)
+	}
+}
+
+func TestEvictAndReschedule(t *testing.T) {
+	b, a := setup(t)
+	bind(b, 1, 0, 1)
+	ids := make([]ContainerID, 3)
+	for i := range ids {
+		ids[i], _ = a.Place(1, "j", 2)
+	}
+	// Find the server with containers and evict it.
+	var victim topology.ServerID = -1
+	for _, cid := range ids {
+		c, _ := a.Get(cid)
+		victim = c.Server
+		break
+	}
+	failed := a.Reschedule(victim)
+	if len(failed) != 0 {
+		t.Fatalf("reschedule failed for %d containers", len(failed))
+	}
+	if len(a.ContainersOn(victim)) != 0 {
+		t.Fatal("containers remain on evicted server")
+	}
+	if got := len(a.ContainersIn(1)); got != 3 {
+		t.Fatalf("reservation has %d containers after reschedule, want 3", got)
+	}
+}
+
+func TestRescheduleReportsFailures(t *testing.T) {
+	b, a := setup(t)
+	bind(b, 1, 0) // single server
+	a.Place(1, "j", 8)
+	b.SetUnavailable(0, broker.RandomFailure, 0, 0)
+	failed := a.Reschedule(0)
+	if len(failed) != 1 {
+		t.Fatalf("expected 1 unplaceable container, got %d", len(failed))
+	}
+}
+
+func TestStatsAndFreeUnits(t *testing.T) {
+	b, a := setup(t)
+	bind(b, 1, 0, 1)
+	a.Place(1, "j", 3)
+	p, e, r := a.Stats()
+	if p != 1 || e != 0 || r != 1 {
+		t.Fatalf("stats: %d %d %d", p, e, r)
+	}
+	if got := a.FreeUnits(1); got != 13 { // 2×8 − 3
+		t.Fatalf("FreeUnits = %d, want 13", got)
+	}
+	a.Evict(0)
+	a.Evict(1)
+	_, e, _ = a.Stats()
+	if e != 1 {
+		t.Fatalf("evictions = %d, want 1", e)
+	}
+}
+
+func TestStopMissing(t *testing.T) {
+	_, a := setup(t)
+	if err := a.Stop(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stop missing: %v", err)
+	}
+	if _, err := a.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestAllExperimentsSmall runs every figure runner at small scale and
+// asserts the paper's qualitative shape reproduces. This is the repo's
+// core end-to-end regression: if a solver or substrate change breaks a
+// figure, it fails here.
+func TestAllExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(ScaleSmall)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			t.Logf("\n%s", rep)
+			if !rep.ShapeHolds {
+				t.Errorf("%s: paper shape did not reproduce:\n%s", e.ID, rep)
+			}
+			if len(rep.Measured) == 0 {
+				t.Errorf("%s: no measured rows", e.ID)
+			}
+			if rep.ID == "" || rep.PaperClaim == "" {
+				t.Errorf("%s: incomplete report metadata", e.ID)
+			}
+		})
+	}
+}
+
+func TestWaterfillMax(t *testing.T) {
+	cases := []struct {
+		caps   []float64
+		demand float64
+		want   float64
+	}{
+		{[]float64{10, 10, 10}, 15, 5},    // even split
+		{[]float64{2, 10, 10}, 12, 5},     // small bin saturates
+		{[]float64{2, 2, 2}, 9, 2 + 3},    // demand exceeds capacity
+		{[]float64{0, 8}, 4, 4},           // zero bins ignored
+		{[]float64{5}, 5, 5},              // single bin
+		{[]float64{3, 6, 9}, 6, 2},        // all open
+		{[]float64{1, 1, 1, 100}, 13, 10}, // one deep bin
+		{[]float64{}, 5, 5},               // no bins: all overflow
+	}
+	for i, c := range cases {
+		if got := waterfillMax(c.caps, c.demand); !feq(got, c.want) {
+			t.Errorf("case %d: waterfillMax(%v, %v) = %v, want %v", i, c.caps, c.demand, got, c.want)
+		}
+	}
+}
+
+func feq(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func TestScaleString(t *testing.T) {
+	if ScaleSmall.String() != "small" || ScaleMedium.String() != "medium" ||
+		ScaleLarge.String() != "large" || Scale(9).String() == "" {
+		t.Fatal("Scale.String")
+	}
+}
+
+func TestLinearityRatio(t *testing.T) {
+	if r := linearityRatio([]float64{1, 2, 4}, []float64{10, 20, 40}); !feq(r, 1) {
+		t.Fatalf("linear data ratio = %v", r)
+	}
+	if r := linearityRatio([]float64{1, 2}, []float64{1, 8}); r < 3 {
+		t.Fatalf("superlinear data ratio = %v", r)
+	}
+	if r := linearityRatio([]float64{1}, []float64{1}); !feq(r, 1) {
+		t.Fatalf("degenerate ratio = %v", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "Figure X", Title: "t", PaperClaim: "c", ShapeHolds: true}
+	r.addf("m %d", 1)
+	out := r.String()
+	for _, want := range []string{"Figure X", "SHAPE HOLDS", "m 1"} {
+		if !contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

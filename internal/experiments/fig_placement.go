@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"ras/internal/broker"
+	"ras/internal/greedy"
+	"ras/internal/hardware"
+	"ras/internal/reservation"
+	"ras/internal/solver"
+	"ras/internal/topology"
+)
+
+var debugFig = os.Getenv("RAS_DEBUG_FIG") != ""
+
+// fig12Dims returns (total MSBs via spec, initially commissioned MSBs).
+func fig12Spec(scale Scale) (topology.GenSpec, int) {
+	spec := regionSpec(scale, 12)
+	switch scale {
+	case ScaleSmall:
+		return spec, 6 // of 8
+	case ScaleLarge:
+		return spec, 24 // of 36, mirroring the paper's "additional MSBs added later"
+	default:
+		return spec, 9 // of 12
+	}
+}
+
+// Fig12 reproduces the correlated-failure-buffer reduction (§4.2): starting
+// from Twine's greedy assignment, enabling RAS for more reservations over
+// time drives the fleet's "machines % in max MSB" from ~15% down toward the
+// waterfill lower bound, and commissioning more MSBs lowers it further.
+func Fig12(scale Scale) (*Report, error) {
+	start := time.Now()
+	r := &Report{
+		ID:    "Figure 12",
+		Title: "Correlated-failure buffers over time (machines % in max MSB)",
+		PaperClaim: "greedy baseline 15.1% → 5.8% as RAS is enabled → 4.2% after new MSBs " +
+			"are added; computed lower bound 4.06%; perfect-spread bound 2.8% (1/36)",
+	}
+	spec, commissioned := fig12Spec(scale)
+	region, err := topology.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	b := broker.New(region)
+	rsvs := makeReservations(region, reservationCount(scale), 0.55)
+
+	// MSBs beyond `commissioned` are not yet turned up.
+	uncommissioned := func(id topology.ServerID) bool {
+		return region.Servers[id].MSB >= commissioned
+	}
+	for i := range region.Servers {
+		id := topology.ServerID(i)
+		if uncommissioned(id) {
+			b.SetUnavailable(id, broker.RandomFailure, 0, 0)
+		}
+	}
+
+	// Stage 0: the Twine-greedy baseline fulfills every reservation.
+	g := greedy.New(b)
+	if missing := g.FulfillAll(rsvs); missing > 0 {
+		return nil, fmt.Errorf("fig12: greedy left %.1f RRUs unfulfilled", missing)
+	}
+	stage := func(name string) float64 {
+		share := fleetMaxMSBShare(region, assignOf(b), rsvs)
+		r.addf("%-26s %5.1f%%", name, 100*share)
+		return share
+	}
+	greedyShare := stage("greedy baseline:")
+
+	// Stages 1..k: enable RAS for a growing subset of reservations. Frozen
+	// reservations keep their greedy servers (masked from the solve).
+	cfg := solverConfig(scale)
+	cfg.SharedBufferFraction = -1 // isolate the spread effect
+	steps := []float64{0.34, 0.67, 1.0}
+	var rasShare float64
+	for _, frac := range steps {
+		enabled := rsvs[:int(math.Ceil(frac*float64(len(rsvs))))]
+		frozen := map[reservation.ID]bool{}
+		for _, rr := range rsvs[len(enabled):] {
+			frozen[rr.ID] = true
+		}
+		states := b.Snapshot()
+		for i := range states {
+			if frozen[states[i].Current] {
+				states[i].Unavail = broker.RandomFailure // mask from this solve
+			}
+		}
+		res, err := solver.Solve(solver.Input{Region: region, Reservations: enabled, States: states}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, tgt := range res.Targets {
+			id := topology.ServerID(i)
+			if frozen[b.State(id).Current] || uncommissioned(id) {
+				continue
+			}
+			if b.State(id).Current != tgt {
+				b.SetCurrent(id, tgt)
+			}
+		}
+		rasShare = stage(fmt.Sprintf("RAS on %.0f%% of services:", 100*frac))
+	}
+
+	// Final stage: commission the remaining MSBs and re-solve.
+	for i := range region.Servers {
+		id := topology.ServerID(i)
+		if uncommissioned(id) {
+			b.ClearUnavailable(id, 1)
+		}
+	}
+	if _, err := applySolve(region, b, rsvs, cfg); err != nil {
+		return nil, err
+	}
+	finalShare := fleetMaxMSBShare(region, assignOf(b), rsvs)
+	r.addf("%-26s %5.1f%%", "after new MSBs added:", 100*finalShare)
+
+	bound := waterfillBound(region, rsvs, nil)
+	ideal := 1.0 / float64(region.NumMSBs)
+	r.addf("%-26s %5.1f%%  (perfect spread %.1f%%)", "waterfill lower bound:", 100*bound, 100*ideal)
+
+	r.Notes = fmt.Sprintf("%d MSBs (%d commissioned initially), %d services; paper runs 36 MSBs",
+		region.NumMSBs, commissioned, len(rsvs))
+	r.ShapeHolds = greedyShare > 2.5*rasShare && // RAS shrinks buffers a lot
+		finalShare <= rasShare+0.005 && // more MSBs help (or at least do not hurt)
+		finalShare < 2.5*bound+0.02 // lands near the lower bound
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// Fig13 reproduces the spread matrix (§4.3): most services spread across
+// nearly all MSBs, with principled exceptions (hardware generations, ML
+// datacenter affinity).
+func Fig13(scale Scale) (*Report, error) {
+	start := time.Now()
+	r := &Report{
+		ID:    "Figure 13",
+		Title: "Spread of services across MSBs",
+		PaperClaim: "top services spread near-uniformly across all MSBs; exceptions: " +
+			"services needing new hardware skip old MSBs, services on discontinued hardware " +
+			"skip new MSBs, and a bandwidth-bound ML service is pinned to one datacenter",
+	}
+	region, err := topology.Generate(regionSpec(scale, 13))
+	if err != nil {
+		return nil, err
+	}
+	cat := region.Catalog
+	var newTypes, oldTypes []int
+	for i := 0; i < cat.Len(); i++ {
+		switch cat.Type(i).Generation {
+		case hardware.GenIII:
+			newTypes = append(newTypes, i)
+		case hardware.GenI:
+			oldTypes = append(oldTypes, i)
+		}
+	}
+
+	n := reservationCount(scale) + 4
+	per := float64(len(region.Servers)) * 0.5 / float64(n)
+	var rsvs []reservation.Reservation
+	for i := 0; i < n; i++ {
+		rr := reservation.Reservation{
+			ID:         reservation.ID(i),
+			Name:       fmt.Sprintf("svc-%02d", i),
+			Class:      defaultClasses[i%len(defaultClasses)],
+			RRUs:       per,
+			CountBased: true,
+			Policy:     reservation.DefaultPolicy(),
+		}
+		switch i {
+		case 0, 1: // newest hardware only (absent from oldest MSBs)
+			rr.EligibleTypes = newTypes
+		case n - 2, n - 1: // discontinued hardware (absent from newest MSBs)
+			rr.EligibleTypes = oldTypes
+			rr.RRUs = per / 2
+		case n / 2: // the ML service: single DC, GPU-capable class
+			rr.Class = hardware.BatchML
+			rr.Policy.SingleDC = region.NumDCs - 1
+			rr.RRUs = per / 2
+		}
+		rsvs = append(rsvs, rr)
+	}
+
+	b := broker.New(region)
+	cfg := solverConfig(scale)
+	if _, err := applySolve(region, b, rsvs, cfg); err != nil {
+		return nil, err
+	}
+	assign := assignOf(b)
+
+	uniform := 1.0 / float64(region.NumMSBs)
+	wellSpread := 0
+	for i := range rsvs {
+		if maxMSBShare(region, assign, &rsvs[i]) <= 2.5*uniform {
+			wellSpread++
+		}
+	}
+	r.addf("%d/%d services spread with max-MSB share ≤ 2.5x uniform (uniform = %.1f%%)",
+		wellSpread, n, 100*uniform)
+
+	// Exception checks.
+	mlOK := true
+	for i := range region.Servers {
+		if assign[i] == rsvs[n/2].ID && region.Servers[i].DC != region.NumDCs-1 {
+			mlOK = false
+		}
+	}
+	r.addf("ML service confined to DC %d: %v", region.NumDCs-1, mlOK)
+
+	oldSvcInNewest := 0.0
+	newestMSB := region.NumMSBs - 1
+	load := perMSBLoad(region, assign, &rsvs[n-1])
+	oldSvcInNewest = load[newestMSB]
+	r.addf("discontinued-hardware service load in newest MSB: %.0f RRUs (expected ~0)", oldSvcInNewest)
+
+	r.ShapeHolds = wellSpread >= (n*2)/3 && mlOK
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// Fig14 reproduces the power-spread improvement (§4.4): normalized power
+// variance across MSBs falls from ~0.9 under greedy to ~0.2 under RAS, and
+// peak-MSB headroom improves.
+func Fig14(scale Scale) (*Report, error) {
+	start := time.Now()
+	r := &Report{
+		ID:    "Figure 14",
+		Title: "Power variance across MSBs over four months",
+		PaperClaim: "normalized power variance drops from ~0.9 (greedy) to ~0.2 as RAS " +
+			"rolls out; peak-MSB power headroom improves from ~0 to 11%",
+	}
+	region, err := topology.Generate(regionSpec(scale, 14))
+	if err != nil {
+		return nil, err
+	}
+	b := broker.New(region)
+	rsvs := makeReservations(region, reservationCount(scale), 0.6)
+
+	g := greedy.New(b)
+	if missing := g.FulfillAll(rsvs); missing > 0 {
+		return nil, fmt.Errorf("fig14: greedy left %.1f RRUs unfulfilled", missing)
+	}
+	powerVariance := func() (float64, float64) {
+		assigned := func(id topology.ServerID) bool { return b.State(id).Current >= 0 }
+		per := region.PowerByMSB(assigned)
+		mean := 0.0
+		peak := 0.0
+		for _, p := range per {
+			mean += p
+			if p > peak {
+				peak = p
+			}
+		}
+		mean /= float64(len(per))
+		headroom := 0.0
+		if peak > 0 {
+			headroom = 1 - mean/peak
+		}
+		return normVariance(per), headroom
+	}
+	v0, _ := powerVariance()
+	r.addf("month 0 (greedy):   normalized variance %.2f", v0)
+
+	cfg := solverConfig(scale)
+	var vLast float64
+	for month := 1; month <= 4; month++ {
+		if _, err := applySolve(region, b, rsvs, cfg); err != nil {
+			return nil, err
+		}
+		var head float64
+		vLast, head = powerVariance()
+		r.addf("month %d (RAS):      normalized variance %.2f (peak headroom vs mean %.0f%%)", month, vLast, 100*head)
+	}
+	r.ShapeHolds = v0 > 2*vLast && vLast < 0.5
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// Fig15 reproduces the cross-datacenter traffic reduction (§4.5): enabling
+// the network-affinity constraint (expression 7) for two Presto-style
+// services cuts their cross-DC traffic by 2.3x (batch) and 1.6x
+// (interactive).
+func Fig15(scale Scale) (*Report, error) {
+	start := time.Now()
+	r := &Report{
+		ID:    "Figure 15",
+		Title: "Cross-datacenter network traffic (Presto batch & interactive)",
+		PaperClaim: "enabling DC-affinity constraints reduces cross-DC traffic by >2.3x for " +
+			"batch and >1.6x for interactive Presto while other constraints are still met",
+	}
+	region, err := topology.Generate(regionSpec(scale, 15))
+	if err != nil {
+		return nil, err
+	}
+	// Storage ratios the compute should match (expression 7's A_{r,G}).
+	// Storage is itself placed across DCs; compute misaligned with the
+	// ratio reads remotely. (A single-DC ratio would conflict with the
+	// embedded-buffer spread — the tension §4.5 describes — so the ratios
+	// reflect a storage layer that is already DC-spread.)
+	storageBatch := map[int]float64{0: 0.75, 1: 0.25}
+	storageInter := map[int]float64{0: 0.55, 1: 0.45}
+	if region.NumDCs < 2 {
+		return nil, fmt.Errorf("fig15 needs ≥2 DCs")
+	}
+
+	base := makeReservations(region, reservationCount(scale)-2, 0.45)
+	batch := reservation.Reservation{
+		ID: reservation.ID(len(base)), Name: "presto-batch", Class: hardware.FleetAvg,
+		RRUs: float64(len(region.Servers)) * 0.12, CountBased: true, Policy: reservation.DefaultPolicy(),
+	}
+	inter := reservation.Reservation{
+		ID: reservation.ID(len(base) + 1), Name: "presto-interactive", Class: hardware.FleetAvg,
+		RRUs: float64(len(region.Servers)) * 0.06, CountBased: true, Policy: reservation.DefaultPolicy(),
+	}
+	rsvs := append(append([]reservation.Reservation{}, base...), batch, inter)
+
+	// crossDC estimates the fraction of a service's I/O that crosses
+	// datacenters: compute placed in a DC beyond the storage ratio reads
+	// remotely.
+	crossDC := func(assign []reservation.ID, rr *reservation.Reservation, storage map[int]float64) float64 {
+		perDC := make([]float64, region.NumDCs)
+		total := 0.0
+		for i := range region.Servers {
+			if assign[i] != rr.ID {
+				continue
+			}
+			v := rruFor(region, topology.ServerID(i), rr)
+			perDC[region.Servers[i].DC] += v
+			total += v
+		}
+		if total == 0 {
+			return 0
+		}
+		local := 0.0
+		for dc, frac := range storage {
+			local += math.Min(perDC[dc]/total, frac)
+		}
+		return 1 - local
+	}
+
+	cfg := solverConfig(scale)
+	b := broker.New(region)
+	if _, err := applySolve(region, b, rsvs, cfg); err != nil {
+		return nil, err
+	}
+	assign := assignOf(b)
+	beforeBatch := crossDC(assign, &batch, storageBatch)
+	beforeInter := crossDC(assign, &inter, storageInter)
+	r.addf("weeks 1-2 (no affinity): batch cross-DC %.0f%%, interactive %.0f%%",
+		100*beforeBatch, 100*beforeInter)
+
+	// Enable expression 7 and re-solve (the paper's weeks 3+). The
+	// measurement solves from a clean state: the paper's transition took
+	// weeks of hourly re-solves, which a single warm solve under-represents.
+	rsvs[len(base)].Policy.DCAffinity = storageBatch
+	rsvs[len(base)].Policy.AffinityTheta = 0.05
+	rsvs[len(base)+1].Policy.DCAffinity = storageInter
+	rsvs[len(base)+1].Policy.AffinityTheta = 0.10
+	b = broker.New(region)
+	res2, err := applySolve(region, b, rsvs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if debugFig {
+		fmt.Printf("FIG15: %+v\n", res2.Phase1)
+	}
+
+	assign = assignOf(b)
+	afterBatch := crossDC(assign, &batch, storageBatch)
+	afterInter := crossDC(assign, &inter, storageInter)
+	factor := func(before, after float64) float64 {
+		if after < 0.005 {
+			after = 0.005 // avoid infinite factors on full elimination
+		}
+		return before / after
+	}
+	fb, fi := factor(beforeBatch, afterBatch), factor(beforeInter, afterInter)
+	r.addf("weeks 3+ (affinity on): batch cross-DC %.0f%% (%.1fx reduction), interactive %.0f%% (%.1fx)",
+		100*afterBatch, fb, 100*afterInter, fi)
+	r.ShapeHolds = fb >= 1.5 && fi >= 1.2 && afterBatch < beforeBatch && afterInter <= beforeInter
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// BufferAccounting reproduces the §1.2/§3.3.1 capacity split: ~94% of
+// servers carry guaranteed capacity, ~2% shared random-failure buffer, and
+// ~4% embedded correlated-failure buffer, against the waterfill bound and
+// the 1/numMSBs perfect-spread bound.
+func BufferAccounting(scale Scale) (*Report, error) {
+	start := time.Now()
+	r := &Report{
+		ID:    "§3.3 buffer accounting",
+		Title: "Region capacity split: guaranteed / random buffer / embedded buffer",
+		PaperClaim: "94% guaranteed capacity, 2% random-failure buffer, 4.2% embedded " +
+			"buffers (lower bound 4.06%; perfect-spread bound 2.8% = 1/36)",
+	}
+	region, err := topology.Generate(regionSpec(scale, 33))
+	if err != nil {
+		return nil, err
+	}
+	b := broker.New(region)
+	rsvs := makeReservations(region, reservationCount(scale), 0.88)
+	cfg := solverConfig(scale)
+	cfg.SharedBufferFraction = 0.02
+	// Greedy prefill gives the solver a strong incumbent, as in production.
+	// Greedy may leave a shortfall at high fill (it cannot shuffle hardware
+	// between reservations); the solver closes it.
+	greedy.New(b).FulfillAll(rsvs)
+	if _, err := applySolve(region, b, rsvs, cfg); err != nil {
+		return nil, err
+	}
+
+	total := float64(len(region.Servers))
+	counts := b.CountByReservation()
+	buffer := float64(counts[reservation.SharedBuffer])
+	assigned := 0.0
+	for id, n := range counts {
+		if id >= 0 {
+			assigned += float64(n)
+		}
+	}
+	// Embedded buffer: allocated capacity beyond the requested C_r, held
+	// inside reservations to survive an MSB loss.
+	assign := assignOf(b)
+	embedded := 0.0
+	for i := range rsvs {
+		have := 0.0
+		for s := range region.Servers {
+			if assign[s] == rsvs[i].ID {
+				have += rruFor(region, topology.ServerID(s), &rsvs[i])
+			}
+		}
+		if over := have - rsvs[i].RRUs; over > 0 {
+			embedded += over // count-based ⇒ RRUs are servers
+		}
+	}
+	guaranteed := assigned - embedded
+	r.addf("guaranteed %.1f%%, shared random buffer %.1f%%, embedded buffers %.1f%%, free %.1f%%",
+		100*guaranteed/total, 100*buffer/total, 100*embedded/total,
+		100*(total-assigned-buffer)/total)
+	bound := waterfillBound(region, rsvs, nil)
+	r.addf("embedded buffer vs bounds: measured max-MSB share %.1f%%, waterfill bound %.1f%%, perfect spread %.1f%%",
+		100*fleetMaxMSBShare(region, assign, rsvs), 100*bound, 100/float64(region.NumMSBs))
+	r.ShapeHolds = buffer/total >= 0.015 && buffer/total <= 0.035 &&
+		guaranteed/total > 0.6 &&
+		fleetMaxMSBShare(region, assign, rsvs) < 3*bound+0.03
+	r.Elapsed = time.Since(start)
+	return r, nil
+}

@@ -1,0 +1,33 @@
+package experiments
+
+// Runner is one experiment entry point.
+type Runner func(Scale) (*Report, error)
+
+// Entry pairs an experiment ID with its runner.
+type Entry struct {
+	ID  string
+	Run Runner
+}
+
+// All lists every experiment in paper order. cmd/rasbench iterates this to
+// regenerate EXPERIMENTS.md; the root benchmarks bind one testing.B bench
+// to each entry.
+func All() []Entry {
+	return []Entry{
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+		{"fig15", Fig15},
+		{"fig16", Fig16},
+		{"buffers", BufferAccounting},
+	}
+}

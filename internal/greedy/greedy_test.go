@@ -1,0 +1,148 @@
+package greedy
+
+import (
+	"testing"
+
+	"ras/internal/broker"
+	"ras/internal/hardware"
+	"ras/internal/reservation"
+	"ras/internal/topology"
+)
+
+func setup(t testing.TB) (*broker.Broker, *Assigner) {
+	t.Helper()
+	region, err := topology.Generate(topology.GenSpec{
+		DCs: 1, MSBsPerDC: 4, RacksPerMSB: 4, ServersPerRack: 4, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(region)
+	return b, New(b)
+}
+
+func TestFulfillAcquiresCapacity(t *testing.T) {
+	b, g := setup(t)
+	r := reservation.Reservation{ID: 0, Name: "web", Class: hardware.Web, RRUs: 10, Policy: reservation.DefaultPolicy()}
+	acq, missing := g.Fulfill(&r)
+	if missing != 0 {
+		t.Fatalf("missing %v RRUs", missing)
+	}
+	if len(acq) == 0 {
+		t.Fatal("nothing acquired")
+	}
+	have := 0.0
+	for _, id := range b.ServersIn(0) {
+		have += hardware.RRU(b.Region().Catalog.Type(b.Region().Servers[id].Type), hardware.Web)
+	}
+	if have < 10 {
+		t.Fatalf("acquired %v RRUs, want ≥ 10", have)
+	}
+}
+
+func TestFulfillConcentrates(t *testing.T) {
+	// The defining baseline property: greedy fills the first MSBs first.
+	b, g := setup(t)
+	r := reservation.Reservation{ID: 0, Name: "web", Class: hardware.Web, RRUs: 8, CountBased: true, Policy: reservation.DefaultPolicy()}
+	g.Fulfill(&r)
+	perMSB := map[int]int{}
+	for _, id := range b.ServersIn(0) {
+		perMSB[b.Region().Servers[id].MSB]++
+	}
+	max := 0
+	for _, n := range perMSB {
+		if n > max {
+			max = n
+		}
+	}
+	if float64(max) < 0.5*8 {
+		t.Fatalf("greedy spread too evenly (max MSB %d of 8); baseline must concentrate", max)
+	}
+}
+
+func TestFulfillIdempotentWhenSatisfied(t *testing.T) {
+	_, g := setup(t)
+	r := reservation.Reservation{ID: 0, Name: "web", Class: hardware.Web, RRUs: 5, CountBased: true, Policy: reservation.DefaultPolicy()}
+	g.Fulfill(&r)
+	acq, missing := g.Fulfill(&r)
+	if len(acq) != 0 || missing != 0 {
+		t.Fatalf("second fulfill acquired %d, missing %v", len(acq), missing)
+	}
+}
+
+func TestFulfillReportsShortage(t *testing.T) {
+	_, g := setup(t)
+	r := reservation.Reservation{ID: 0, Name: "huge", Class: hardware.Web, RRUs: 1e9, Policy: reservation.DefaultPolicy()}
+	_, missing := g.Fulfill(&r)
+	if missing <= 0 {
+		t.Fatal("impossible request must report missing RRUs")
+	}
+}
+
+func TestFulfillSkipsUnavailableAndBound(t *testing.T) {
+	b, g := setup(t)
+	for i := 0; i < len(b.Region().Servers); i += 2 {
+		b.SetUnavailable(topology.ServerID(i), broker.RandomFailure, 0, 0)
+	}
+	r := reservation.Reservation{ID: 0, Name: "web", Class: hardware.Web, RRUs: 4, CountBased: true, Policy: reservation.DefaultPolicy()}
+	g.Fulfill(&r)
+	for _, id := range b.ServersIn(0) {
+		if b.State(id).Unavail != broker.Available {
+			t.Fatal("greedy acquired a failed server")
+		}
+	}
+}
+
+func TestReleaseReturnsSurplus(t *testing.T) {
+	b, g := setup(t)
+	r := reservation.Reservation{ID: 0, Name: "web", Class: hardware.Web, RRUs: 8, CountBased: true, Policy: reservation.DefaultPolicy()}
+	g.Fulfill(&r)
+	r.RRUs = 3 // shrink
+	released := g.Release(&r)
+	if len(released) == 0 {
+		t.Fatal("nothing released after shrink")
+	}
+	if got := len(b.ServersIn(0)); got < 3 {
+		t.Fatalf("released too much: %d left", got)
+	}
+}
+
+func TestReleaseKeepsBusyServers(t *testing.T) {
+	b, g := setup(t)
+	r := reservation.Reservation{ID: 0, Name: "web", Class: hardware.Web, RRUs: 4, CountBased: true, Policy: reservation.DefaultPolicy()}
+	g.Fulfill(&r)
+	for _, id := range b.ServersIn(0) {
+		b.SetContainers(id, 1)
+	}
+	r.RRUs = 1
+	if released := g.Release(&r); len(released) != 0 {
+		t.Fatalf("released %d busy servers", len(released))
+	}
+}
+
+func TestFulfillAll(t *testing.T) {
+	_, g := setup(t)
+	rsvs := []reservation.Reservation{
+		{ID: 1, Name: "b", Class: hardware.Web, RRUs: 4, CountBased: true, Policy: reservation.DefaultPolicy()},
+		{ID: 0, Name: "a", Class: hardware.Feed1, RRUs: 4, CountBased: true, Policy: reservation.DefaultPolicy()},
+		{ID: 2, Name: "e", Elastic: true, RRUs: 99, Policy: reservation.DefaultPolicy()},
+	}
+	if missing := g.FulfillAll(rsvs); missing != 0 {
+		t.Fatalf("missing %v", missing)
+	}
+}
+
+func TestEligibilityRespected(t *testing.T) {
+	b, g := setup(t)
+	// Restrict to a single hardware type.
+	cat := b.Region().Catalog
+	want := cat.EligibleTypes(hardware.Web)[0]
+	r := reservation.Reservation{ID: 0, Name: "narrow", Class: hardware.Web, RRUs: 1,
+		CountBased: true, EligibleTypes: []int{want}, Policy: reservation.DefaultPolicy()}
+	g.Fulfill(&r)
+	for _, id := range b.ServersIn(0) {
+		if b.Region().Servers[id].Type != want {
+			t.Fatalf("acquired type %d, want %d", b.Region().Servers[id].Type, want)
+		}
+	}
+}

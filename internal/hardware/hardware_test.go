@@ -1,0 +1,153 @@
+package hardware
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCatalogShape(t *testing.T) {
+	c := DefaultCatalog()
+	if c.Len() < 12 {
+		t.Fatalf("catalog has %d types, want ≥ 12 subtypes (Figure 2)", c.Len())
+	}
+	cats := map[int]bool{}
+	for i := 0; i < c.Len(); i++ {
+		cats[c.Type(i).Category] = true
+	}
+	if len(cats) != 9 {
+		t.Fatalf("catalog spans %d categories, want 9 (Figure 2)", len(cats))
+	}
+}
+
+func TestCatalogIndexRoundTrip(t *testing.T) {
+	c := DefaultCatalog()
+	for i := 0; i < c.Len(); i++ {
+		id := c.Type(i).ID
+		if got := c.Index(id); got != i {
+			t.Errorf("Index(%q) = %d, want %d", id, got, i)
+		}
+	}
+	if c.Index("nonexistent") != -1 {
+		t.Error("Index of unknown ID must be -1")
+	}
+	if len(c.IDs()) != c.Len() {
+		t.Error("IDs length mismatch")
+	}
+}
+
+func TestNewCatalogRejectsDuplicates(t *testing.T) {
+	_, err := NewCatalog([]Type{{ID: "A"}, {ID: "A"}})
+	if err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+	_, err = NewCatalog([]Type{{ID: ""}})
+	if err == nil {
+		t.Fatal("empty ID must be rejected")
+	}
+}
+
+func TestRelativeValueFigure3(t *testing.T) {
+	// The shape of Figure 3: Web gains 1.47× and 1.82×; DataStore is flat;
+	// Feed1 gains on GenII but not GenIII; Feed2 the reverse.
+	if RelativeValue(Web, GenII) != 1.47 || RelativeValue(Web, GenIII) != 1.82 {
+		t.Error("Web relative values diverge from Figure 3")
+	}
+	if RelativeValue(DataStore, GenIII) > 1.1 {
+		t.Error("DataStore must be ~flat across generations")
+	}
+	f1II, f1III := RelativeValue(Feed1, GenII), RelativeValue(Feed1, GenIII)
+	if f1II < 1.2 || f1III-f1II > 0.1 {
+		t.Error("Feed1 must gain on GenII but plateau on GenIII")
+	}
+	f2II, f2III := RelativeValue(Feed2, GenII), RelativeValue(Feed2, GenIII)
+	if f2II > 1.2 || f2III < 1.3 {
+		t.Error("Feed2 must plateau on GenII but gain on GenIII")
+	}
+}
+
+func TestRelativeValueNormalization(t *testing.T) {
+	for _, c := range Classes() {
+		if got := RelativeValue(c, GenI); got != 1.0 {
+			t.Errorf("%v GenI = %v, want 1.0 (normalized)", c, got)
+		}
+	}
+}
+
+func TestRelativeValueUnknown(t *testing.T) {
+	if RelativeValue(Class(99), GenII) != 1.0 {
+		t.Error("unknown class must default to 1.0")
+	}
+	if RelativeValue(Web, Generation(9)) != 1.0 {
+		t.Error("unknown generation must default to 1.0")
+	}
+}
+
+func TestRRUGPUGating(t *testing.T) {
+	c := DefaultCatalog()
+	gpu := c.Type(c.Index("C7-S2"))
+	if RRU(gpu, Web) != 0 {
+		t.Error("GPU hardware must not serve Web")
+	}
+	if RRU(gpu, BatchML) <= 0 {
+		t.Error("GPU hardware must serve BatchML")
+	}
+}
+
+func TestRRUMLRequiresNewGen(t *testing.T) {
+	c := DefaultCatalog()
+	old := c.Type(c.Index("C1")) // GenI
+	if RRU(old, BatchML) != 0 {
+		t.Error("GenI hardware must not serve BatchML")
+	}
+}
+
+func TestRRUScalesWithCores(t *testing.T) {
+	a := &Type{ID: "a", Generation: GenII, Cores: 32}
+	b := &Type{ID: "b", Generation: GenII, Cores: 64}
+	if RRU(b, Web) <= RRU(a, Web) {
+		t.Error("more cores must yield more RRUs")
+	}
+}
+
+// Property: RRU is never negative and is monotone in generation for Web.
+func TestQuickRRUProperties(t *testing.T) {
+	check := func(cores uint8) bool {
+		n := int(cores%64) + 1
+		prev := 0.0
+		for g := GenI; g <= GenIII; g++ {
+			ty := &Type{ID: "x", Generation: g, Cores: n}
+			v := RRU(ty, Web)
+			if v < 0 || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEligibleTypes(t *testing.T) {
+	c := DefaultCatalog()
+	web := c.EligibleTypes(Web)
+	ml := c.EligibleTypes(BatchML)
+	if len(web) == 0 || len(ml) == 0 {
+		t.Fatal("both classes must have eligible hardware")
+	}
+	for _, i := range web {
+		if c.Type(i).GPUs > 0 {
+			t.Error("Web eligibility must exclude GPU types")
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if GenII.String() != "Gen II" || Generation(9).String() == "" {
+		t.Error("Generation.String")
+	}
+	if Web.String() != "Web" || Class(77).String() == "" {
+		t.Error("Class.String")
+	}
+}

@@ -1,0 +1,237 @@
+// Package metrics provides the small statistics toolkit used by the
+// benchmark harness: percentile estimation, mean/variance, normalized
+// variance, histograms, and time-series accumulation for the figures in the
+// paper's evaluation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is an accumulating collection of float64 observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// Len reports the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Mean reports the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+// Variance reports the population variance (0 for fewer than 2 points).
+func (s *Sample) Variance() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	t := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		t += d * d
+	}
+	return t / float64(len(s.xs))
+}
+
+// StdDev reports the population standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Percentile reports the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics. Empty samples yield 0.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Min reports the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 { return s.Percentile(0) }
+
+// Max reports the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// Values returns a copy of the observations in insertion-independent
+// (sorted) order.
+func (s *Sample) Values() []float64 {
+	out := append([]float64(nil), s.xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// NormalizedVariance reports the variance of xs after dividing every value
+// by the mean — the scale-free imbalance measure of Figure 14. A uniform
+// vector yields 0.
+func NormalizedVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	v := 0.0
+	for _, x := range xs {
+		d := x/mean - 1
+		v += d * d
+	}
+	return v / float64(len(xs))
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+	n      int
+}
+
+// NewHistogram creates a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: bad histogram spec [%v,%v) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// N reports the total number of observations, including out-of-range ones.
+func (h *Histogram) N() int { return h.n }
+
+// Density reports the probability density of bin i (so that the integral
+// over all bins is ≤ 1, matching Figure 7's y-axis).
+func (h *Histogram) Density(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	binWidth := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / float64(h.n) / binWidth
+}
+
+// BinCenter reports the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	binWidth := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + binWidth*(float64(i)+0.5)
+}
+
+// Series is a labelled time series for figure output.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Add appends one (x, y) point.
+func (s *Series) Add(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Table formats labelled rows as an aligned text table for the benchmark
+// harness output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,1139 @@
+// Package mip implements a mixed-integer-programming solver: a modeling API
+// for linear objectives and constraints over continuous and integer
+// variables, plus a branch-and-bound search that uses package lp for node
+// relaxations.
+//
+// mip is the engine behind the RAS async solver (internal/solver). The RAS
+// formulation uses three nonlinear constructs that mip linearizes with
+// auxiliary variables:
+//
+//   - max(0, expr)   → AddPosPart
+//   - max over group sums (the embedded correlated-failure buffer)
+//     → AddUpperEnvelope
+//   - |expr − a| ≤ θ (network affinity) → AddAbsRange
+//
+// Solve reports not only an incumbent but also the best proven bound and the
+// absolute gap, mirroring the quality-gap methodology of the paper's
+// Figure 9 ("90% of solutions proven optimal within 200 preemptions").
+package mip
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"ras/internal/lp"
+)
+
+// noWarm disables LP warm starts (debug toggle).
+var noWarm = os.Getenv("MIP_NOWARM") != ""
+
+// debugDive logs dive-heuristic exits (debug toggle).
+var debugDive = os.Getenv("MIP_DEBUG_DIVE") != ""
+
+// Var identifies a variable within a Model.
+type Var int
+
+// Term is one linear coefficient Coef·Var.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// Sense re-exports the constraint senses of package lp.
+type Sense = lp.Sense
+
+// Constraint senses.
+const (
+	LE = lp.LE
+	EQ = lp.EQ
+	GE = lp.GE
+)
+
+// Inf is the bound value representing "no upper bound".
+var Inf = lp.Inf
+
+// Model is a mixed-integer program under construction.
+type Model struct {
+	prob    lp.Problem
+	integer []bool
+	names   []string
+	cost    []float64 // mirror of objective coefficients for evaluation
+
+	rows      [][]lp.Nonzero
+	senses    []Sense
+	rhs       []float64
+	rowNames  []string
+	objOffset float64
+
+	initial []float64    // optional warm-start point (may be partial: NaN = unset)
+	penalty map[Var]bool // soft-constraint slack variables (see MarkPenalty)
+
+	// Column index caches for the repair heuristic, rebuilt lazily when the
+	// model grows.
+	colRows     [][]rowRef
+	intOnlyRows []bool
+	idxRows     int // row count when the caches were built
+	idxVars     int
+}
+
+type rowRef struct {
+	row  int
+	coef float64
+}
+
+// buildColIndex (re)builds the column→rows index used by the repair
+// heuristic. It is a no-op when the model has not grown since the last call.
+func (m *Model) buildColIndex() {
+	if m.idxRows == len(m.rows) && m.idxVars == m.prob.NumVars() {
+		return
+	}
+	m.colRows = make([][]rowRef, m.prob.NumVars())
+	m.intOnlyRows = make([]bool, len(m.rows))
+	for i, row := range m.rows {
+		pure := true
+		for _, nz := range row {
+			m.colRows[nz.Index] = append(m.colRows[nz.Index], rowRef{row: i, coef: nz.Value})
+			if !m.integer[nz.Index] {
+				pure = false
+			}
+		}
+		m.intOnlyRows[i] = pure
+	}
+	m.idxRows = len(m.rows)
+	m.idxVars = m.prob.NumVars()
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// NumVars reports the number of variables added so far.
+func (m *Model) NumVars() int { return m.prob.NumVars() }
+
+// NumIntVars reports the number of integer variables added so far.
+func (m *Model) NumIntVars() int {
+	n := 0
+	for _, b := range m.integer {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// NumConstrs reports the number of constraints added so far.
+func (m *Model) NumConstrs() int { return len(m.rows) }
+
+// VarName reports the name given to v at creation.
+func (m *Model) VarName(v Var) string { return m.names[v] }
+
+// AddVar adds a continuous variable and returns it. The lower bound must be
+// finite; the upper bound may be mip.Inf.
+func (m *Model) AddVar(name string, cost, lo, up float64) Var {
+	j := m.prob.AddVar(cost, lo, up)
+	m.integer = append(m.integer, false)
+	m.names = append(m.names, name)
+	m.cost = append(m.cost, cost)
+	return Var(j)
+}
+
+// AddIntVar adds an integer variable and returns it.
+func (m *Model) AddIntVar(name string, cost, lo, up float64) Var {
+	v := m.AddVar(name, cost, lo, up)
+	m.integer[v] = true
+	return v
+}
+
+// AddBinVar adds a {0,1} variable and returns it.
+func (m *Model) AddBinVar(name string, cost float64) Var {
+	return m.AddIntVar(name, cost, 0, 1)
+}
+
+// AddConstr adds the constraint Σ terms sense rhs and returns its row index.
+func (m *Model) AddConstr(name string, terms []Term, sense Sense, rhs float64) int {
+	nz := make([]lp.Nonzero, 0, len(terms))
+	for _, t := range terms {
+		nz = append(nz, lp.Nonzero{Index: int(t.Var), Value: t.Coef})
+	}
+	m.prob.AddRow(nz, sense, rhs)
+	m.rows = append(m.rows, nz)
+	m.senses = append(m.senses, sense)
+	m.rhs = append(m.rhs, rhs)
+	m.rowNames = append(m.rowNames, name)
+	return len(m.rows) - 1
+}
+
+// AddObjOffset adds a constant to the objective (bookkeeping only).
+func (m *Model) AddObjOffset(c float64) { m.objOffset += c }
+
+// AddPosPart adds an auxiliary continuous variable y with objective
+// coefficient cost, constrained by y ≥ Σ terms + constant and y ≥ 0, and
+// returns y. When cost > 0 and the model is minimized, y takes the value
+// max(0, Σ terms + constant), which linearizes the hinge penalties of the
+// RAS stability and spread objectives (paper expressions 1–3).
+func (m *Model) AddPosPart(name string, terms []Term, constant, cost float64) Var {
+	y := m.AddVar(name, cost, 0, Inf)
+	row := make([]Term, 0, len(terms)+1)
+	row = append(row, Term{y, 1})
+	for _, t := range terms {
+		row = append(row, Term{t.Var, -t.Coef})
+	}
+	m.AddConstr(name, row, GE, constant)
+	return y
+}
+
+// AddUpperEnvelope adds an auxiliary continuous variable z with objective
+// coefficient cost and one constraint z ≥ Σ group per group, returning z.
+// Under minimization pressure z equals the maximum group sum, linearizing
+// the correlated-failure-buffer term (paper expression 4) and providing the
+// left-hand max of the buffer constraint (expression 6).
+func (m *Model) AddUpperEnvelope(name string, groups [][]Term, cost float64) Var {
+	z := m.AddVar(name, cost, 0, Inf)
+	for gi, g := range groups {
+		row := make([]Term, 0, len(g)+1)
+		row = append(row, Term{z, 1})
+		for _, t := range g {
+			row = append(row, Term{t.Var, -t.Coef})
+		}
+		m.AddConstr(fmt.Sprintf("%s[%d]", name, gi), row, GE, 0)
+	}
+	return z
+}
+
+// AddAbsRange adds |Σ terms − target| ≤ theta as two linear rows,
+// linearizing the network-affinity constraint (paper expression 7).
+func (m *Model) AddAbsRange(name string, terms []Term, target, theta float64) {
+	m.AddConstr(name+"/hi", terms, LE, target+theta)
+	m.AddConstr(name+"/lo", terms, GE, target-theta)
+}
+
+// MarkPenalty declares v to be a pure penalty slack: a continuous variable
+// that exists only to absorb a soft-constraint violation. Primal heuristics
+// zero such variables when evaluating constraint rows, so violations hidden
+// behind slack become visible to integer repair moves.
+func (m *Model) MarkPenalty(v Var) {
+	if m.penalty == nil {
+		m.penalty = make(map[Var]bool)
+	}
+	m.penalty[v] = true
+}
+
+// SetInitial supplies a warm-start point. If the point is feasible and
+// integral it seeds the incumbent, which lets Solve report gaps relative to
+// the previous assignment exactly as RAS does between consecutive solves.
+// Use math.NaN for variables without a hint.
+func (m *Model) SetInitial(x []float64) {
+	m.initial = append([]float64(nil), x...)
+}
+
+// Status reports the outcome of a MIP solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Optimal means the incumbent was proven optimal within tolerances.
+	Optimal Status = iota
+	// Feasible means an incumbent exists but the search stopped early
+	// (time, node limit); Bound and Gap quantify remaining uncertainty.
+	Feasible
+	// Infeasible means the relaxation has no feasible point.
+	Infeasible
+	// Unbounded means the relaxation is unbounded below.
+	Unbounded
+	// NoSolution means the search stopped before finding any incumbent.
+	NoSolution
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// TimeLimit bounds wall-clock solve time. Zero means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored nodes. Zero means 100000.
+	MaxNodes int
+	// IntTol is the integrality tolerance. Zero means 1e-6.
+	IntTol float64
+	// AbsGap stops the search once incumbent − bound ≤ AbsGap. Zero means 1e-6.
+	AbsGap float64
+	// RelGap stops the search once the relative gap falls below it.
+	RelGap float64
+	// LPIterLimit bounds simplex iterations per node LP. Zero = lp default.
+	LPIterLimit int
+	// NoWarmStart disables LP warm starts between node/heuristic solves
+	// (ablation: every LP solves from a cold crash basis).
+	NoWarmStart bool
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status      Status
+	Objective   float64   // incumbent objective (valid unless NoSolution/Infeasible)
+	Bound       float64   // best proven lower bound on the optimum
+	X           []float64 // incumbent point, one entry per variable
+	Nodes       int       // branch-and-bound nodes explored
+	LPSolves    int       // LP relaxations solved
+	LPIters     int       // total simplex iterations across all LP solves
+	LPDualIters int       // dual-simplex warm-start repair iterations
+	LPLimited   int       // LP solves that hit the iteration limit
+	SolveTime   time.Duration
+}
+
+// Gap reports the absolute optimality gap incumbent − bound (0 when proven
+// optimal; +Inf when no incumbent exists).
+func (r Result) Gap() float64 {
+	if r.Status == NoSolution || r.Status == Infeasible {
+		return math.Inf(1)
+	}
+	g := r.Objective - r.Bound
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+type node struct {
+	// Bound changes relative to the root problem, applied in order.
+	changes []boundChange
+	bound   float64 // parent LP objective (lower bound for this node)
+	depth   int
+}
+
+type boundChange struct {
+	v      int
+	lo, up float64
+}
+
+// Solve minimizes the model and returns the result. The model may be solved
+// repeatedly and modified between solves.
+func (m *Model) Solve(opt Options) Result {
+	start := time.Now()
+	if opt.IntTol == 0 {
+		opt.IntTol = 1e-6
+	}
+	if opt.AbsGap == 0 {
+		opt.AbsGap = 1e-6
+	}
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 100000
+	}
+
+	res := Result{Status: NoSolution, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	defer func() { res.SolveTime = time.Since(start) }()
+
+	n := m.prob.NumVars()
+
+	// Save root bounds so the model is unchanged after Solve.
+	rootLo := make([]float64, n)
+	rootUp := make([]float64, n)
+	for j := 0; j < n; j++ {
+		rootLo[j], rootUp[j] = m.prob.Bounds(j)
+	}
+	defer func() {
+		for j := 0; j < n; j++ {
+			m.prob.SetBounds(j, rootLo[j], rootUp[j])
+		}
+	}()
+
+	lpOpt := lp.Options{MaxIter: opt.LPIterLimit}
+
+	// Warm-start bookkeeping: every optimal LP exports its basis, and every
+	// subsequent LP of this Solve (heuristic completions, dives, nodes)
+	// starts from the most recent one. Bound changes between solves are
+	// absorbed by dual-simplex repair inside package lp.
+	var warmBasis *lp.Basis
+	forceCold := false
+	solveLP := func() lp.Solution {
+		o := lpOpt
+		o.Start = warmBasis
+		if noWarm || forceCold || opt.NoWarmStart {
+			o.Start = nil
+		}
+		sol := m.prob.Solve(o)
+		res.LPSolves++
+		res.LPIters += sol.Iterations
+		res.LPDualIters += sol.DualIters
+		if sol.Status == lp.IterLimit {
+			res.LPLimited++
+		}
+		if sol.Basis != nil {
+			warmBasis = sol.Basis
+		}
+		return sol
+	}
+
+	// Seed the incumbent from the warm-start point when valid.
+	var incumbent []float64
+	incObj := math.Inf(1)
+	if m.initial != nil && m.feasibleIntegral(m.initial, opt.IntTol) {
+		incumbent = append([]float64(nil), m.initial...)
+		incObj = m.objective(incumbent)
+	}
+
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+	timedOut := false
+	expired := func() bool {
+		if timedOut {
+			return true
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			timedOut = true
+		}
+		return timedOut
+	}
+
+	m.buildColIndex()
+
+	// Continuous contribution range per row: with integer variables pinned,
+	// how much can the row's continuous members still move the activity?
+	// Pure-integer rows have a zero range; rows with an unbounded envelope
+	// or free slack have an infinite side and never bind the guard there.
+	contMin := make([]float64, len(m.rows))
+	contMax := make([]float64, len(m.rows))
+	for i, row := range m.rows {
+		for _, nz := range row {
+			if m.integer[nz.Index] {
+				continue
+			}
+			lo, up := m.prob.Bounds(nz.Index)
+			a, b := nz.Value*lo, nz.Value*up
+			if a > b {
+				a, b = b, a
+			}
+			contMin[i] += a
+			contMax[i] += b
+		}
+	}
+
+	// intAct tracks the integer-variable activity of every row.
+	newIntAct := func(xi []float64) []float64 {
+		act := make([]float64, len(m.rows))
+		for i, row := range m.rows {
+			for _, nz := range row {
+				if m.integer[nz.Index] {
+					act[i] += nz.Value * xi[nz.Index]
+				}
+			}
+		}
+		return act
+	}
+	// guardOK reports whether changing integer variable j by delta leaves
+	// every row of j satisfiable by SOME continuous completion: the
+	// completion LP cannot repair a row whose integer part has moved beyond
+	// the reach of its continuous members.
+	guardBlocked := func(act []float64, j int, delta float64) int {
+		for _, ri := range m.colRows[j] {
+			i := ri.row
+			na := act[i] + ri.coef*delta
+			switch m.senses[i] {
+			case LE:
+				if na+contMin[i] > m.rhs[i]+1e-9 {
+					return i
+				}
+			case GE:
+				if na+contMax[i] < m.rhs[i]-1e-9 {
+					return i
+				}
+			case EQ:
+				if na+contMin[i] > m.rhs[i]+1e-9 || na+contMax[i] < m.rhs[i]-1e-9 {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	guardOK := func(act []float64, j int, delta float64) bool {
+		return guardBlocked(act, j, delta) == -1
+	}
+	applyDelta := func(act, xi []float64, j int, delta float64) {
+		xi[j] += delta
+		for _, ri := range m.colRows[j] {
+			act[ri.row] += ri.coef * delta
+		}
+	}
+	// guardedRound rounds integer variable j in xi to an integer, preferring
+	// the warm-start value when it brackets the fractional point (rounding
+	// toward the incumbent avoids gratuitous deviation — e.g. spurious
+	// server moves in the RAS model), then the nearest value, falling back
+	// to the other side when pure-integer rows would be violated.
+	guardedRound := func(act, xi []float64, j int) bool {
+		lo, up := m.prob.Bounds(j)
+		floor, ceil := math.Floor(xi[j]), math.Ceil(xi[j])
+		frac := xi[j] - floor
+		first, second := floor, ceil
+		if frac > 0.5 {
+			first, second = second, first
+		}
+		// Anchor toward the warm start only when the fractional point is
+		// genuinely ambiguous; strong fractional pulls (e.g. capacity fills)
+		// must win over stability.
+		if m.initial != nil && j < len(m.initial) && frac > 0.35 && frac < 0.65 {
+			if iv := m.initial[j]; iv == floor || iv == ceil {
+				first, second = iv, floor+ceil-iv
+			}
+		}
+		for _, v := range [2]float64{first, second} {
+			if v < lo-1e-9 || v > up+1e-9 {
+				continue
+			}
+			if guardOK(act, j, v-xi[j]) {
+				applyDelta(act, xi, j, v-xi[j])
+				return true
+			}
+		}
+		return false
+	}
+
+	// completeLP fixes every integer variable to the values in xi, solves
+	// the LP over the remaining continuous variables, and updates the
+	// incumbent on success. It restores all bounds before returning.
+	completeLP := func(xi []float64) bool {
+		type saved struct {
+			v      int
+			lo, up float64
+		}
+		var undo []saved
+		ok := true
+		for j := 0; j < n && ok; j++ {
+			if !m.integer[j] {
+				continue
+			}
+			lo, up := m.prob.Bounds(j)
+			v := math.Round(xi[j])
+			if v < lo || v > up {
+				ok = false
+				break
+			}
+			undo = append(undo, saved{j, lo, up})
+			m.prob.SetBounds(j, v, v)
+		}
+		improved := false
+		if ok {
+			sol := solveLP()
+			if sol.Status == lp.Optimal {
+				x := sol.X
+				for j := 0; j < n; j++ {
+					if m.integer[j] {
+						x[j] = math.Round(x[j])
+					}
+				}
+				if m.feasibleIntegral(x, opt.IntTol) {
+					if obj := m.objective(x); obj < incObj {
+						incObj = obj
+						incumbent = append(incumbent[:0], x...)
+						improved = true
+					}
+				}
+			}
+		}
+		for i := len(undo) - 1; i >= 0; i-- {
+			m.prob.SetBounds(undo[i].v, undo[i].lo, undo[i].up)
+		}
+		return improved
+	}
+
+	// roundRepairComplete is the primary primal heuristic: round integer
+	// variables to nearest, repair violated rows by nudging integer
+	// variables (guarding rows made purely of integer variables, like the
+	// RAS assignment constraints, whose feasibility the completion LP
+	// cannot restore), then let completeLP settle the continuous variables.
+	// Two LP solves total regardless of problem size.
+	roundRepairComplete := func(seed []float64) bool {
+		xi := append([]float64(nil), seed...)
+		for v := range m.penalty {
+			xi[v] = 0 // expose soft violations to the repair pass
+		}
+		act := newIntAct(xi)
+		// Guarded rounding in order of decreasing value keeps big counts
+		// stable and lets small fractional ones absorb the adjustment.
+		order := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			if m.integer[j] {
+				order = append(order, j)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return xi[order[a]] > xi[order[b]] })
+		for _, j := range order {
+			if !guardedRound(act, xi, j) {
+				return false // pure-integer rows unsatisfiable by rounding
+			}
+		}
+
+		// Repair pass over mixed rows: with continuous variables at seed
+		// values, bump zero-cost integer variables (guarded) to close
+		// violations that rounding introduced — e.g. refill capacity lost
+		// to rounded-down counts.
+		for pass := 0; pass < 4; pass++ {
+			dirty := false
+			for i, row := range m.rows {
+				if m.intOnlyRows[i] {
+					continue // kept feasible by the guard
+				}
+				lhs := 0.0
+				for _, nz := range row {
+					lhs += nz.Value * xi[nz.Index]
+				}
+				var need float64
+				switch m.senses[i] {
+				case LE:
+					if lhs > m.rhs[i]+1e-7 {
+						need = m.rhs[i] - lhs
+					}
+				case GE:
+					if lhs < m.rhs[i]-1e-7 {
+						need = m.rhs[i] - lhs
+					}
+				case EQ:
+					if math.Abs(lhs-m.rhs[i]) > 1e-7 {
+						need = m.rhs[i] - lhs
+					}
+				}
+				if need == 0 {
+					continue
+				}
+				// Round-robin unit bumps across DISTINCT row variables: the
+				// members usually span fault domains, and spreading the
+				// bumps avoids inflating a max-per-domain envelope variable
+				// that would cancel the gain. For the same reason,
+				// inequality repairs overshoot by one unit: a single bump
+				// can be eaten entirely by an envelope in its own domain.
+				if m.senses[i] != EQ {
+					need += 2 * sign(need)
+				}
+				// Unit bumps across distinct row variables, spread widely:
+				// the members span fault domains, and clustered bumps can
+				// be absorbed by a max-per-domain envelope variable. GE/LE
+				// repairs overshoot (the envelope can eat one bump).
+				bumped := map[int]bool{}
+				for cycle := 0; cycle < 64 && math.Abs(need) > 1e-9; cycle++ {
+					moved := false
+					for _, nz := range row {
+						j := nz.Index
+						if !m.integer[j] || nz.Value == 0 || m.cost[j] != 0 || bumped[j] {
+							continue
+						}
+						step := sign(need) * sign(nz.Value)
+						lo, up := m.prob.Bounds(j)
+						if xi[j]+step < lo-1e-9 || xi[j]+step > up+1e-9 || !guardOK(act, j, step) {
+							continue
+						}
+						applyDelta(act, xi, j, step)
+						bumped[j] = true
+						need -= step * nz.Value
+						dirty = true
+						moved = true
+						if math.Abs(need) <= 1e-9 || math.Signbit(need) != math.Signbit(need+step*nz.Value) {
+							need = 0
+							break
+						}
+					}
+					if !moved {
+						break
+					}
+					if len(bumped) >= len(row) {
+						bumped = map[int]bool{}
+					}
+				}
+			}
+			if !dirty {
+				break
+			}
+		}
+		return completeLP(xi)
+	}
+
+	// dive runs the diving primal heuristic from an LP-feasible fractional
+	// point: repeatedly fix integer variables that are already (nearly)
+	// integral plus the single most fractional one to a rounded value, then
+	// re-solve the LP until the point is integral or infeasible. It updates
+	// the incumbent on success.
+	dive := func(seed []float64, bias float64) {
+		x := append([]float64(nil), seed...)
+		// Temporary bound changes to undo afterwards.
+		type saved struct {
+			v      int
+			lo, up float64
+		}
+		var undo []saved
+		rollback := func(to int) {
+			for i := len(undo) - 1; i >= to; i-- {
+				m.prob.SetBounds(undo[i].v, undo[i].lo, undo[i].up)
+			}
+			undo = undo[:to]
+		}
+		defer func() { rollback(0) }()
+		fixed := make([]bool, n)
+		for depth := 0; depth < n+1; depth++ {
+			if expired() {
+				return
+			}
+			act := newIntAct(x)
+			// fix pins variable j to a guarded rounding of its value.
+			fix := func(j int) bool {
+				lo, up := m.prob.Bounds(j)
+				f := x[j] - math.Floor(x[j])
+				if f > bias && f < 1 {
+					x[j] = math.Min(up, math.Ceil(x[j])) - 1e-9
+				}
+				if !guardedRound(act, x, j) {
+					return false
+				}
+				undo = append(undo, saved{j, lo, up})
+				m.prob.SetBounds(j, x[j], x[j])
+				fixed[j] = true
+				return true
+			}
+			// Fix near-integral variables in bulk, then a batch of the most
+			// fractional ones (warm-started dual repair keeps LP rounds
+			// cheap). A per-variable guard cannot see joint effects through
+			// coupled continuous variables (e.g. max-envelopes), so when a
+			// batch lands infeasible we roll it back and retry one variable
+			// at a time.
+			type fc struct {
+				j int
+				d float64
+			}
+			var fracs []fc
+			progress := false
+			checkpoint := len(undo)
+			var xcheck []float64
+			for j := 0; j < n; j++ {
+				if !m.integer[j] || fixed[j] {
+					continue
+				}
+				f := x[j] - math.Floor(x[j])
+				d := math.Min(f, 1-f)
+				if d <= 0.01 {
+					if fix(j) {
+						progress = true
+					}
+				} else {
+					fracs = append(fracs, fc{j, d})
+				}
+			}
+			if len(fracs) == 0 {
+				if !progress {
+					break
+				}
+			} else {
+				sort.Slice(fracs, func(a, b int) bool { return fracs[a].d > fracs[b].d })
+				xcheck = append([]float64(nil), x...)
+				batch := len(fracs)/8 + 1
+				fixedAny := false
+				for _, f := range fracs[:batch] {
+					if fix(f.j) {
+						fixedAny = true
+					}
+				}
+				if !fixedAny && !progress {
+					if debugDive {
+						fmt.Printf("DIVE stuck at depth %d (%d fracs)\n", depth, len(fracs))
+					}
+					return
+				}
+			}
+			sol := solveLP()
+			if sol.Status != lp.Optimal && len(fracs) > 0 {
+				// Batch overshot a coupled constraint: retry with a single
+				// most-fractional fix from the checkpoint.
+				rollback(checkpoint)
+				copy(x, xcheck)
+				for _, f := range fracs {
+					fixed[f.j] = false
+				}
+				act = newIntAct(x)
+				if !fix(fracs[0].j) {
+					return
+				}
+				sol = solveLP()
+			}
+			if sol.Status != lp.Optimal {
+				if debugDive {
+					fmt.Printf("DIVE abort: LP %v at depth %d\n", sol.Status, depth)
+				}
+				return // infeasible dive; give up
+			}
+			x = sol.X
+			if m.mostFractional(x, opt.IntTol) == -1 {
+				// Snap integers exactly and accept if feasible.
+				for j := 0; j < n; j++ {
+					if m.integer[j] {
+						x[j] = math.Round(x[j])
+					}
+				}
+				if debugDive && !m.feasibleIntegral(x, opt.IntTol) {
+					fmt.Printf("DIVE end: integral but infeasible\n")
+				}
+				if m.feasibleIntegral(x, opt.IntTol) {
+					if obj := m.objective(x); obj < incObj {
+						incObj = obj
+						incumbent = append(incumbent[:0], x...)
+					}
+				}
+				return
+			}
+		}
+	}
+
+	// Root relaxation.
+	rootSol := solveLP()
+	switch rootSol.Status {
+	case lp.Infeasible:
+		if incumbent != nil {
+			// The warm start satisfies every row by direct evaluation, so an
+			// infeasible relaxation is numerical noise; keep the incumbent.
+			res.Status = Feasible
+			res.Objective = incObj + m.objOffset
+			res.Bound = math.Inf(-1)
+			res.X = incumbent
+			return res
+		}
+		res.Status = Infeasible
+		return res
+	case lp.Unbounded:
+		res.Status = Unbounded
+		return res
+	case lp.IterLimit:
+		if incumbent == nil {
+			res.Status = NoSolution
+			return res
+		}
+		res.Status = Feasible
+		res.Objective = incObj + m.objOffset
+		res.Bound = math.Inf(-1)
+		res.X = incumbent
+		return res
+	}
+	res.Bound = rootSol.Objective
+	if m.mostFractional(rootSol.X, opt.IntTol) != -1 {
+		roundRepairComplete(rootSol.X)
+		dive(rootSol.X, 0.5)
+		// A second, up-biased dive targets residual shortfalls that the
+		// nearest-rounding dive strands (soft capacity slack).
+		if incObj-rootSol.Objective > math.Max(10*opt.AbsGap, 0.05*math.Abs(incObj)) {
+			dive(rootSol.X, 0.3)
+		}
+		// Warm-started LPs revisit vertices whose roundings can be brittle
+		// on tightly-coupled instances; if the dives have not closed most
+		// of the gap, retry once with cold LPs, which reach different
+		// (often friendlier) vertices.
+		if incObj-rootSol.Objective > math.Max(10*opt.AbsGap, 0.05*math.Abs(incObj)) {
+			forceCold = true
+			dive(rootSol.X, 0.5)
+			forceCold = false
+		}
+		// Polish the incumbent with a repair pass; it can close residual
+		// soft-penalty slack that greedy dives strand.
+		if incumbent != nil {
+			roundRepairComplete(incumbent)
+		}
+	}
+
+	// Open-node pool. Depth-first diving with periodic best-bound selection
+	// keeps memory modest while still improving the global bound.
+	open := []node{{bound: rootSol.Objective}}
+	bestBound := func() float64 {
+		if len(open) == 0 {
+			return incObj
+		}
+		b := math.Inf(1)
+		for i := range open {
+			if open[i].bound < b {
+				b = open[i].bound
+			}
+		}
+		return b
+	}
+
+	xbuf := make([]float64, n)
+
+	for len(open) > 0 {
+		if res.Nodes >= opt.MaxNodes || expired() {
+			break
+		}
+		// Node selection: mostly LIFO (dive), every 16th node best-bound.
+		pick := len(open) - 1
+		if res.Nodes%16 == 15 {
+			for i := range open {
+				if open[i].bound < open[pick].bound {
+					pick = i
+				}
+			}
+		}
+		nd := open[pick]
+		open = append(open[:pick], open[pick+1:]...)
+
+		// Prune against incumbent.
+		if nd.bound >= incObj-opt.AbsGap {
+			continue
+		}
+
+		// Apply node bounds.
+		for j := 0; j < n; j++ {
+			m.prob.SetBounds(j, rootLo[j], rootUp[j])
+		}
+		infeasBound := false
+		for _, bc := range nd.changes {
+			lo, up := bc.lo, bc.up
+			if up < lo {
+				infeasBound = true
+				break
+			}
+			m.prob.SetBounds(bc.v, lo, up)
+		}
+		if infeasBound {
+			continue
+		}
+
+		sol := solveLP()
+		res.Nodes++
+		if sol.Status == lp.Infeasible || sol.Status == lp.IterLimit {
+			continue
+		}
+		if sol.Status == lp.Unbounded {
+			// Integer restrictions cannot repair an unbounded relaxation
+			// in this node's subtree in a way we can detect; skip it.
+			continue
+		}
+		if sol.Objective >= incObj-opt.AbsGap {
+			continue
+		}
+
+		frac := m.mostFractional(sol.X, opt.IntTol)
+		if frac == -1 {
+			// Integral: new incumbent.
+			if sol.Objective < incObj {
+				incObj = sol.Objective
+				incumbent = append(incumbent[:0], sol.X...)
+			}
+			continue
+		}
+
+		// Rounding heuristic: round to nearest integers, verify feasibility.
+		copy(xbuf, sol.X)
+		for j := 0; j < n; j++ {
+			if m.integer[j] {
+				xbuf[j] = math.Round(xbuf[j])
+			}
+		}
+		if m.feasibleIntegral(xbuf, opt.IntTol) {
+			if obj := m.objective(xbuf); obj < incObj {
+				incObj = obj
+				incumbent = append(incumbent[:0], xbuf...)
+			}
+		}
+		// Periodic heuristics from this node's relaxation (bounds are still
+		// the node's at this point) to refresh the incumbent.
+		if res.Nodes%16 == 1 {
+			roundRepairComplete(sol.X)
+		}
+		if res.Nodes%64 == 33 {
+			dive(sol.X, 0.5)
+		}
+
+		// Branch on the most fractional variable.
+		v := frac
+		fv := sol.X[v]
+		floorUp := math.Floor(fv + opt.IntTol)
+		ceilLo := math.Ceil(fv - opt.IntTol)
+		if ceilLo <= floorUp { // numerically integral; nudge
+			ceilLo = floorUp + 1
+		}
+		loV, upV := nodeBounds(nd, v, rootLo[v], rootUp[v])
+
+		up := node{
+			changes: appendChange(nd.changes, boundChange{v, ceilLo, upV}),
+			bound:   sol.Objective,
+			depth:   nd.depth + 1,
+		}
+		down := node{
+			changes: appendChange(nd.changes, boundChange{v, loV, floorUp}),
+			bound:   sol.Objective,
+			depth:   nd.depth + 1,
+		}
+		// Dive toward the nearer integer first (pushed last = popped first).
+		if fv-floorUp < ceilLo-fv {
+			open = append(open, up, down)
+		} else {
+			open = append(open, down, up)
+		}
+	}
+
+	// Final polish: restore root bounds and re-run the repair heuristic on
+	// the incumbent. Node incumbents found mid-search never saw it, and it
+	// often closes residual soft-penalty slack.
+	if incumbent != nil {
+		for j := 0; j < n; j++ {
+			m.prob.SetBounds(j, rootLo[j], rootUp[j])
+		}
+		roundRepairComplete(incumbent)
+	}
+
+	res.Bound = math.Min(bestBound(), incObj)
+	if incumbent == nil {
+		if len(open) == 0 && !timedOut && res.Nodes < opt.MaxNodes {
+			res.Status = Infeasible
+		} else {
+			res.Status = NoSolution
+		}
+		return res
+	}
+	res.Objective = incObj + m.objOffset
+	res.Bound += m.objOffset
+	res.X = incumbent
+	gap := incObj + m.objOffset - res.Bound
+	rel := gap / (1 + math.Abs(res.Objective))
+	if len(open) == 0 || gap <= opt.AbsGap || (opt.RelGap > 0 && rel <= opt.RelGap) {
+		res.Status = Optimal
+		if len(open) == 0 {
+			res.Bound = res.Objective
+		}
+	} else {
+		res.Status = Feasible
+	}
+	return res
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func appendChange(cs []boundChange, c boundChange) []boundChange {
+	out := make([]boundChange, len(cs)+1)
+	copy(out, cs)
+	out[len(cs)] = c
+	return out
+}
+
+// nodeBounds reports the effective bounds of v at node nd.
+func nodeBounds(nd node, v int, rootLo, rootUp float64) (lo, up float64) {
+	lo, up = rootLo, rootUp
+	for _, bc := range nd.changes {
+		if bc.v == v {
+			lo, up = bc.lo, bc.up
+		}
+	}
+	return lo, up
+}
+
+// mostFractional returns the integer variable with value farthest from an
+// integer, or -1 if all integer variables are integral within tol.
+func (m *Model) mostFractional(x []float64, tol float64) int {
+	best := -1
+	bestDist := tol
+	for j, isInt := range m.integer {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		d := math.Min(f, 1-f)
+		if d > bestDist {
+			bestDist = d
+			best = j
+		}
+	}
+	return best
+}
+
+// objective evaluates the model objective (without offset) at x.
+func (m *Model) objective(x []float64) float64 {
+	obj := 0.0
+	for j, c := range m.cost {
+		obj += c * x[j]
+	}
+	return obj
+}
+
+// feasibleIntegral reports whether x satisfies every constraint, all bounds,
+// and integrality within tol.
+func (m *Model) feasibleIntegral(x []float64, tol float64) bool {
+	if len(x) != m.prob.NumVars() {
+		return false
+	}
+	ftol := 1e-6
+	for j := range x {
+		if math.IsNaN(x[j]) {
+			return false
+		}
+		lo, up := m.prob.Bounds(j)
+		if x[j] < lo-ftol || x[j] > up+ftol {
+			return false
+		}
+		if m.integer[j] {
+			if d := math.Abs(x[j] - math.Round(x[j])); d > tol {
+				return false
+			}
+		}
+	}
+	for i, row := range m.rows {
+		lhs := 0.0
+		for _, nz := range row {
+			lhs += nz.Value * x[nz.Index]
+		}
+		scale := 1.0 + math.Abs(m.rhs[i])
+		switch m.senses[i] {
+		case LE:
+			if lhs > m.rhs[i]+ftol*scale {
+				return false
+			}
+		case GE:
+			if lhs < m.rhs[i]-ftol*scale {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-m.rhs[i]) > ftol*scale {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Fractionality returns the indices of integer variables with fractional
+// values in x, sorted by decreasing distance from integrality. It is used by
+// diagnostics and tests.
+func (m *Model) Fractionality(x []float64, tol float64) []int {
+	type fv struct {
+		j int
+		d float64
+	}
+	var fs []fv
+	for j, isInt := range m.integer {
+		if !isInt || j >= len(x) {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		d := math.Min(f, 1-f)
+		if d > tol {
+			fs = append(fs, fv{j, d})
+		}
+	}
+	sort.Slice(fs, func(a, b int) bool { return fs[a].d > fs[b].d })
+	out := make([]int, len(fs))
+	for i, f := range fs {
+		out[i] = f.j
+	}
+	return out
+}

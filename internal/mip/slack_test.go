@@ -1,0 +1,22 @@
+package mip
+
+import "testing"
+
+// Repro: capacity row with penalty slack; adding one free integer unit
+// should drive slack to zero.
+func TestPenaltySlackRepaired(t *testing.T) {
+	m := NewModel()
+	x := m.AddIntVar("x", 0, 0, 10)   // count var, 10 available
+	z := m.AddVar("z", 3, 0, Inf)     // envelope, tau=3
+	s := m.AddVar("s", 1000, 0, 0.56) // penalty slack
+	m.MarkPenalty(s)
+	m.AddConstr("env", []Term{{z, 1}, {x, -0.5}}, GE, 0) // z >= x/2
+	m.AddConstr("cap", []Term{{x, 1}, {z, -1}, {s, 1}}, GE, 4.56)
+	m.AddConstr("assign", []Term{{x, 1}}, LE, 10)
+	m.SetInitial([]float64{8, 4, 0.56}) // 8 - 4 = 4 < 4.56 → slack .56
+	r := m.Solve(Options{MaxNodes: 100})
+	t.Logf("status=%v obj=%v X=%v", r.Status, r.Objective, r.X)
+	if r.X[s] > 1e-6 {
+		t.Fatalf("slack not repaired: %v", r.X[s])
+	}
+}

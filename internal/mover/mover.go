@@ -1,0 +1,248 @@
+// Package mover implements the Online Mover, the RAS component that
+// executes the async solver's decisions and handles the fast paths the
+// solver is too slow for (paper §3.2–3.4, Figure 6 step 4):
+//
+//   - applying target bindings: preempting containers off a server, host
+//     cleanup and OS re-configuration (host-profile switches), then flipping
+//     ownership;
+//   - replacing randomly-failed servers from the shared buffer within one
+//     minute, well before the next hourly solve;
+//   - loaning idle buffer capacity to elastic reservations and revoking it
+//     when failures reclaim it.
+//
+// Correlated MSB failures deliberately require no mover action: the
+// embedded buffers are already inside each reservation.
+package mover
+
+import (
+	"sort"
+
+	"ras/internal/allocator"
+	"ras/internal/broker"
+	"ras/internal/hardware"
+	"ras/internal/reservation"
+	"ras/internal/topology"
+)
+
+// Stats counts mover activity.
+type Stats struct {
+	MovesInUse      int // moves that preempted running containers
+	MovesUnused     int // moves of idle servers
+	ProfileSwitches int // host-profile reconfigurations
+	Replacements    int // random-failure replacements from the shared buffer
+	ReplacementMiss int // failures with no eligible buffer server
+	Loans           int // servers loaned to elastic reservations
+	Revocations     int // loans revoked for failure handling
+	FailedReplace   []topology.ServerID
+}
+
+// Mover executes binding changes against the broker.
+type Mover struct {
+	broker *broker.Broker
+	region *topology.Region
+	store  *reservation.Store
+	alloc  *allocator.Allocator // optional; nil disables container handling
+	stats  Stats
+}
+
+// New creates a mover. alloc may be nil when no container allocator is in
+// the loop (pure capacity simulations).
+func New(b *broker.Broker, store *reservation.Store, alloc *allocator.Allocator) *Mover {
+	return &Mover{broker: b, region: b.Region(), store: store, alloc: alloc}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (m *Mover) Stats() Stats { return m.stats }
+
+// ResetStats clears the counters (per-measurement-window accounting).
+func (m *Mover) ResetStats() { m.stats = Stats{} }
+
+// profileOf looks up a reservation's host profile ("" for the free pool and
+// the shared buffer).
+func (m *Mover) profileOf(id reservation.ID) string {
+	if id < 0 || m.store == nil {
+		return ""
+	}
+	r, err := m.store.Get(id)
+	if err != nil {
+		return ""
+	}
+	return r.HostProfile
+}
+
+// ApplyTargets walks the broker and moves every server whose target binding
+// differs from its current one: preempt → clean up → reconfigure → rebind
+// (§3.2). It returns the number of servers moved.
+func (m *Mover) ApplyTargets(now int64) int {
+	snap := m.broker.Snapshot()
+	moved := 0
+	for i := range snap {
+		st := &snap[i]
+		if st.Target == st.Current {
+			continue
+		}
+		m.moveServer(st, st.Target)
+		moved++
+	}
+	return moved
+}
+
+// moveServer executes one ownership change.
+func (m *Mover) moveServer(st *broker.ServerState, to reservation.ID) {
+	inUse := st.Containers > 0 && st.LoanedTo == reservation.Unassigned
+	if m.alloc != nil && st.Containers > 0 {
+		// Preempt: reschedule the containers inside their own reservation.
+		m.alloc.Reschedule(st.ID)
+	}
+	if m.profileOf(st.Current) != m.profileOf(to) {
+		m.stats.ProfileSwitches++
+	}
+	if st.Current != reservation.Unassigned {
+		if inUse {
+			m.stats.MovesInUse++
+		} else {
+			m.stats.MovesUnused++
+		}
+	}
+	m.broker.SetCurrent(st.ID, to)
+}
+
+// HandleFailure reacts to one unavailability event. Random and ToR failures
+// of servers inside guaranteed reservations are replaced from the shared
+// buffer within the minute; correlated failures need no action (embedded
+// buffers); recoveries return the server to service.
+func (m *Mover) HandleFailure(ev broker.Event, now int64) {
+	switch ev.Kind {
+	case broker.RandomFailure, broker.ToRFailure:
+		st := m.broker.State(ev.Server)
+		if m.alloc != nil && st.Containers > 0 {
+			m.alloc.Reschedule(ev.Server) // containers flee the dead server
+		}
+		if st.Current < 0 {
+			return // free pool or buffer server failed: nothing to replace
+		}
+		m.replaceFromBuffer(ev.Server, st.Current)
+	case broker.CorrelatedFailure:
+		// Embedded buffers absorb this; the allocator simply reschedules.
+		if m.alloc != nil {
+			m.alloc.Reschedule(ev.Server)
+		}
+	case broker.Available:
+		// Recovered server stays where it is; the next solve rebalances.
+	}
+}
+
+// replaceFromBuffer moves one eligible shared-buffer server into the failed
+// server's reservation. Loaned-out buffer servers are revoked if necessary.
+func (m *Mover) replaceFromBuffer(failed topology.ServerID, into reservation.ID) {
+	var rsv reservation.Reservation
+	if m.store != nil {
+		if r, err := m.store.Get(into); err == nil {
+			rsv = r
+		}
+	}
+	failedType := m.region.Servers[failed].Type
+
+	snap := m.broker.Snapshot()
+	type cand struct {
+		id     topology.ServerID
+		loaned bool
+		same   bool // same hardware type as the failed server
+	}
+	var cands []cand
+	for i := range snap {
+		st := &snap[i]
+		if st.Current != reservation.SharedBuffer || st.Unavail != broker.Available {
+			continue
+		}
+		t := m.region.Servers[st.ID].Type
+		if rsv.Name != "" {
+			v := hardware.RRU(m.region.Catalog.Type(t), rsv.Class)
+			if !rsv.Eligible(t, v) {
+				continue
+			}
+		}
+		cands = append(cands, cand{
+			id:     st.ID,
+			loaned: st.LoanedTo != reservation.Unassigned,
+			same:   t == failedType,
+		})
+	}
+	if len(cands) == 0 {
+		m.stats.ReplacementMiss++
+		m.stats.FailedReplace = append(m.stats.FailedReplace, failed)
+		return
+	}
+	// Prefer identical hardware, then un-loaned servers.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].same != cands[j].same {
+			return cands[i].same
+		}
+		if cands[i].loaned != cands[j].loaned {
+			return !cands[i].loaned
+		}
+		return cands[i].id < cands[j].id
+	})
+	c := cands[0]
+	if c.loaned {
+		m.revoke(c.id)
+	}
+	m.broker.SetCurrent(c.id, into)
+	m.stats.Replacements++
+}
+
+// LoanIdleBuffers hands idle shared-buffer servers to elastic reservations
+// round-robin (§3.4) and returns the number of new loans.
+func (m *Mover) LoanIdleBuffers(elastic []reservation.ID) int {
+	if len(elastic) == 0 {
+		return 0
+	}
+	snap := m.broker.Snapshot()
+	loans := 0
+	next := 0
+	for i := range snap {
+		st := &snap[i]
+		if st.Current != reservation.SharedBuffer ||
+			st.LoanedTo != reservation.Unassigned ||
+			st.Unavail != broker.Available ||
+			st.Containers > 0 {
+			continue
+		}
+		m.broker.SetLoan(st.ID, elastic[next%len(elastic)])
+		next++
+		loans++
+		m.stats.Loans++
+	}
+	return loans
+}
+
+// revoke reclaims one loaned buffer server, evicting elastic containers.
+func (m *Mover) revoke(id topology.ServerID) {
+	if m.alloc != nil {
+		m.alloc.Evict(id) // elastic workloads are preemptible by contract
+	}
+	m.broker.SetLoan(id, reservation.Unassigned)
+	m.stats.Revocations++
+}
+
+// RevokeAllLoansFor reclaims the loan on one specific server (the
+// emergency-grant path needs a targeted revoke).
+func (m *Mover) RevokeAllLoansFor(id topology.ServerID) {
+	if m.broker.State(id).LoanedTo != reservation.Unassigned {
+		m.revoke(id)
+	}
+}
+
+// RevokeAllLoans reclaims every elastic loan (e.g. at the start of a
+// large-scale failure response) and returns the number revoked.
+func (m *Mover) RevokeAllLoans() int {
+	snap := m.broker.Snapshot()
+	n := 0
+	for i := range snap {
+		if snap[i].LoanedTo != reservation.Unassigned {
+			m.revoke(snap[i].ID)
+			n++
+		}
+	}
+	return n
+}

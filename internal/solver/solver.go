@@ -1,0 +1,1031 @@
+// Package solver implements the RAS Async Solver: the continuous,
+// region-wide optimizer that assigns servers to reservations by solving a
+// mixed-integer program (paper §3.5).
+//
+// The MIP model follows §3.5.3 exactly:
+//
+//	minimize  Σ M_s·max(0, X_{s,r} − x_{s,r})                    (1) stability
+//	        + β·Σ max(0, Σ_G V·x − αK·C_r)  over racks G          (2) rack spread
+//	        + β·Σ max(0, Σ_G V·x − αF·C_r)  over MSBs G           (3) MSB spread
+//	        + τ·Σ_r max_G Σ_G V·x           over MSBs G           (4) buffer min
+//	s.t.      Σ_r x_{s,r} ≤ 1                                     (5) assignment
+//	          Σ V·x − max_G Σ_G V·x ≥ C_r                         (6) embedded buffer
+//	          |Σ_G V·x − A_{r,G}·C_r| ≤ θ·C_r  over DCs G         (7) network affinity
+//
+// Two production techniques make the MIP tractable (§3.5.2):
+//
+//   - Symmetry exploitation: servers identical under the model (same
+//     hardware type, same location scope, same current reservation, same
+//     in-use state) are merged into a single integer count variable.
+//   - Phased solving: phase 1 solves the whole region at MSB granularity;
+//     phase 2 re-solves rack-level goals for the reservations with the worst
+//     rack objectives, under an assignment-variable cap.
+//
+// Constraints 6 and 7 are softened with bounded slacks so that no constraint
+// can regress below its violation in the incumbent assignment (§3.5.1), and
+// unresolved slack carries a penalty far above every other objective.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"ras/internal/broker"
+	"ras/internal/hardware"
+	"ras/internal/mip"
+	"ras/internal/reservation"
+	"ras/internal/topology"
+)
+
+// debugSlack logs residual soft-constraint slack per reservation when the
+// RAS_DEBUG_SLACK environment variable is set — a production-style
+// visibility hook (§5.3: explain capacity decisions to service owners).
+var debugSlack = os.Getenv("RAS_DEBUG_SLACK") != ""
+
+// Config tunes the solver. Zero values select documented defaults.
+type Config struct {
+	// AlphaMSB is αF, the fraction of a reservation's capacity allowed in
+	// one MSB before spread penalties accrue. Zero means 1.5/numMSBs
+	// (clamped to [0.05, 1]).
+	AlphaMSB float64
+	// AlphaRack is αK, the rack-level analogue. Zero means 4/numRacks
+	// (clamped to [0.01, 1]).
+	AlphaRack float64
+	// Beta is β, the penalty per RRU beyond a spread threshold. Zero = 3.
+	Beta float64
+	// Tau is τ, the penalty per RRU of correlated-failure buffer. Zero = 3.
+	Tau float64
+	// MoveCostInUse is M_s for servers with running containers. Zero = 10.
+	MoveCostInUse float64
+	// MoveCostIdle is M_s for idle servers ("virtually free", 10× smaller
+	// in production). Zero = 1.
+	MoveCostIdle float64
+	// SoftPenalty prices one unit of softened-constraint slack. Zero = 1000.
+	SoftPenalty float64
+	// AffinityTheta is the default θ for expression 7. Zero = 0.05.
+	AffinityTheta float64
+
+	// Phase1TimeLimit / Phase2TimeLimit bound each phase's MIP step. Zero
+	// means 10s each (production: a joint one-hour SLO).
+	Phase1TimeLimit time.Duration
+	Phase2TimeLimit time.Duration
+	// MaxNodes bounds branch-and-bound nodes per phase. Zero = 400.
+	MaxNodes int
+	// Phase2MaxVars caps phase-2 assignment variables (production: 5M).
+	// Zero = 20000.
+	Phase2MaxVars int
+	// Phase2ResFraction is the share of reservations refined in phase 2
+	// (production: 10%). Zero = 0.1.
+	Phase2ResFraction float64
+	// DisableRackPhase skips phase 2 entirely.
+	DisableRackPhase bool
+	// DisableSymmetry turns off equivalence-class grouping: every server
+	// becomes its own group, reproducing the raw per-server formulation
+	// the paper's §3.5.2 symmetry exploitation exists to avoid (ablation).
+	DisableSymmetry bool
+	// RackGoalsInPhase1 folds rack-level goals into a single region-wide
+	// phase instead of two-phase solving — the "without phasing, the full
+	// problems would be at least 10x larger" configuration of §4.1.3
+	// (ablation).
+	RackGoalsInPhase1 bool
+	// DisableWarmStart turns off LP warm starts inside the MIP search
+	// (ablation for the branch-and-bound warm-start machinery).
+	DisableWarmStart bool
+	// SetupOnly builds both phases (RAS build, solver build, initial state)
+	// but skips the MIP step. Used by the Figure 10/11 scalability sweeps,
+	// which measure exactly those three steps.
+	SetupOnly bool
+
+	// SharedBufferFraction sizes the shared random-failure buffer as a
+	// fraction of total region capacity (§3.3.1; production: 2%).
+	// Negative disables the buffer; zero means 0.02.
+	SharedBufferFraction float64
+
+	// WearPenalty enables IO-aware placement (paper §5.2, "SSD burnout
+	// reduction through IO-aware server assignments"): assigning a flash
+	// server to a flash-consuming reservation costs WearPenalty per wear
+	// bucket (4 buckets over [0,1]), steering storage onto fresh drives.
+	// Zero disables; wear buckets then do not split symmetry groups.
+	WearPenalty float64
+}
+
+func (c Config) withDefaults(region *topology.Region) Config {
+	if c.AlphaMSB == 0 {
+		c.AlphaMSB = clamp(1.5/float64(max(region.NumMSBs, 1)), 0.05, 1)
+	}
+	if c.AlphaRack == 0 {
+		c.AlphaRack = clamp(4/float64(max(region.NumRacks, 1)), 0.01, 1)
+	}
+	if c.Beta == 0 {
+		c.Beta = 3
+	}
+	if c.Tau == 0 {
+		c.Tau = 3
+	}
+	if c.MoveCostInUse == 0 {
+		c.MoveCostInUse = 10
+	}
+	if c.MoveCostIdle == 0 {
+		c.MoveCostIdle = 1
+	}
+	if c.SoftPenalty == 0 {
+		c.SoftPenalty = 1000
+	}
+	if c.AffinityTheta == 0 {
+		c.AffinityTheta = 0.05
+	}
+	if c.Phase1TimeLimit == 0 {
+		c.Phase1TimeLimit = 10 * time.Second
+	}
+	if c.Phase2TimeLimit == 0 {
+		c.Phase2TimeLimit = 10 * time.Second
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 400
+	}
+	if c.Phase2MaxVars == 0 {
+		c.Phase2MaxVars = 20000
+	}
+	if c.Phase2ResFraction == 0 {
+		c.Phase2ResFraction = 0.1
+	}
+	if c.SharedBufferFraction == 0 {
+		c.SharedBufferFraction = 0.02
+	}
+	return c
+}
+
+// Input is one solve's snapshot of the world (Figure 6 step 2).
+type Input struct {
+	Region *topology.Region
+	// Reservations are the guaranteed reservations to satisfy. Elastic
+	// reservations are ignored: they receive capacity from the online
+	// mover's buffer loans, not from the solver.
+	Reservations []reservation.Reservation
+	// States is the broker snapshot, indexed by ServerID.
+	States []broker.ServerState
+}
+
+// PhaseStats instruments one solve phase, mirroring the paper's
+// Figure 8 breakdown (RAS build / solver build / initial state / MIP) and
+// the Figure 9/10/11 metrics.
+type PhaseStats struct {
+	AssignVars   int // n_{g,r} count variables (the paper's x-axis metric)
+	ModelVars    int // total MIP variables incl. auxiliaries
+	ModelRows    int
+	Groups       int // symmetry equivalence classes
+	RASBuild     time.Duration
+	SolverBuild  time.Duration
+	InitialState time.Duration
+	MIP          time.Duration
+	Status       mip.Status
+	Objective    float64
+	Bound        float64
+	// GapPreemptions expresses the optimality gap in units of in-use server
+	// preemptions (Figure 9's "proven optimal within N preemptions").
+	GapPreemptions float64
+	// SoftSlack is the total remaining softened-constraint violation; zero
+	// means all initially broken constraints were fixed. Unserviceable
+	// requests contribute their full shortfall.
+	SoftSlack float64
+	// Unserviceable lists reservations no usable server can serve at all
+	// (e.g. a SingleDC policy pointing at a datacenter with no eligible
+	// hardware). Surfacing the reason is a §5.3 operability requirement:
+	// "when a capacity request gets rejected ... the rejection message
+	// needs to explain the reason".
+	Unserviceable []string
+	Nodes         int
+	LPSolves      int
+	LPIters       int
+	LPLimited     int
+}
+
+// Total reports the phase's wall-clock total.
+func (p PhaseStats) Total() time.Duration {
+	return p.RASBuild + p.SolverBuild + p.InitialState + p.MIP
+}
+
+// MoveStats counts server moves produced by a solve (Figure 16).
+type MoveStats struct {
+	InUse  int // moves that preempt running containers
+	Unused int // moves of idle or loaned-out servers
+}
+
+// Result is the output of one continuous-optimization round.
+type Result struct {
+	// Targets maps every server to its target reservation
+	// (reservation.Unassigned for free-pool servers, reservation.SharedBuffer
+	// for the shared random-failure buffer).
+	Targets []reservation.ID
+	Phase1  PhaseStats
+	Phase2  PhaseStats
+	Moves   MoveStats
+	// RanPhase2 reports whether the rack phase executed.
+	RanPhase2 bool
+	// Phase2Reservations lists the reservations refined in phase 2.
+	Phase2Reservations []reservation.ID
+}
+
+// TotalTime reports the full allocation time across phases.
+func (r *Result) TotalTime() time.Duration { return r.Phase1.Total() + r.Phase2.Total() }
+
+// resSpec is an internal reservation: either a user reservation or one of
+// the per-hardware-type shared-buffer reservations (§3.3.1, §3.5.3).
+type resSpec struct {
+	res        reservation.Reservation
+	outID      reservation.ID // ID written to Targets
+	countBased bool
+	isBuffer   bool
+}
+
+// group is one symmetry equivalence class: servers indistinguishable to the
+// model, merged into a single integer count variable per reservation.
+type group struct {
+	servers []topology.ServerID
+	typeIdx int
+	msb     int
+	dc      int
+	rack    int // -1 at MSB granularity (phase 1)
+	cur     reservation.ID
+	inUse   bool
+	wear    int // SSD wear bucket (0 when wear-aware placement is off)
+}
+
+// wearBucket quantizes a wear level in [0,1] into 4 buckets.
+func wearBucket(w float64) int {
+	b := int(w * 4)
+	if b > 3 {
+		b = 3
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Solve runs one continuous-optimization round and returns target bindings
+// for every server.
+func Solve(in Input, cfg Config) (*Result, error) {
+	if in.Region == nil {
+		return nil, fmt.Errorf("solver: nil region")
+	}
+	if len(in.States) != len(in.Region.Servers) {
+		return nil, fmt.Errorf("solver: %d states for %d servers", len(in.States), len(in.Region.Servers))
+	}
+	cfg = cfg.withDefaults(in.Region)
+
+	res := &Result{Targets: make([]reservation.ID, len(in.Region.Servers))}
+	for i := range res.Targets {
+		res.Targets[i] = reservation.Unassigned
+	}
+
+	specs := buildSpecs(in, cfg)
+
+	// ---- Phase 1: whole region, MSB granularity (or rack granularity
+	// when the single-phase ablation is on). ------------------------------
+	pool := usableServers(in)
+	p1 := solvePhase(in, cfg, specs, pool, res.Targets, cfg.RackGoalsInPhase1, cfg.Phase1TimeLimit)
+	res.Phase1 = p1.stats
+	realize(in, specs, p1, res.Targets)
+
+	// ---- Phase 2: rack goals for the worst reservations. ----------------
+	if !cfg.DisableRackPhase && !cfg.RackGoalsInPhase1 {
+		subset := pickPhase2(in, cfg, specs, res.Targets)
+		if len(subset) > 0 {
+			sub := make(map[reservation.ID]bool, len(subset))
+			var specs2 []resSpec
+			for _, s := range specs {
+				if subset[s.outID] || (s.isBuffer && subset[reservation.SharedBuffer]) {
+					sub[s.outID] = true
+					specs2 = append(specs2, s)
+				}
+			}
+			var pool2 []topology.ServerID
+			for _, id := range pool {
+				t := res.Targets[id]
+				if t == reservation.Unassigned || sub[t] {
+					pool2 = append(pool2, id)
+				}
+			}
+			p2 := solvePhase(in, cfg, specs2, pool2, res.Targets, true, cfg.Phase2TimeLimit)
+			res.Phase2 = p2.stats
+			res.RanPhase2 = true
+			for id := range subset {
+				res.Phase2Reservations = append(res.Phase2Reservations, id)
+			}
+			sort.Slice(res.Phase2Reservations, func(i, j int) bool {
+				return res.Phase2Reservations[i] < res.Phase2Reservations[j]
+			})
+			realize(in, specs2, p2, res.Targets)
+		}
+	}
+
+	// ---- Move accounting (expression 1 / Figure 16). --------------------
+	for i := range in.States {
+		st := &in.States[i]
+		if st.Current == res.Targets[i] {
+			continue
+		}
+		if st.Current == reservation.Unassigned {
+			continue // acquiring a free server is not a move
+		}
+		if unusable(st) {
+			// A failed server leaving its reservation is a casualty, not a
+			// move the mover executes; keep its previous binding intent so
+			// it returns home on recovery.
+			res.Targets[i] = st.Current
+			continue
+		}
+		if st.Containers > 0 && st.LoanedTo == reservation.Unassigned {
+			res.Moves.InUse++
+		} else {
+			res.Moves.Unused++
+		}
+	}
+	return res, nil
+}
+
+// buildSpecs assembles the internal reservation list: user reservations
+// (minus elastic ones) plus per-hardware-type shared-buffer reservations.
+func buildSpecs(in Input, cfg Config) []resSpec {
+	var specs []resSpec
+	for _, r := range in.Reservations {
+		if r.Elastic {
+			continue
+		}
+		specs = append(specs, resSpec{res: r, outID: r.ID, countBased: r.CountBased})
+	}
+	if cfg.SharedBufferFraction > 0 {
+		// Size per-type buffers proportionally to the usable fleet mix,
+		// using largest-remainder rounding so the total stays at the
+		// configured fraction instead of inflating by one server per type.
+		counts := make([]int, in.Region.Catalog.Len())
+		usableTotal := 0
+		for i := range in.Region.Servers {
+			if unusable(&in.States[i]) {
+				continue
+			}
+			counts[in.Region.Servers[i].Type]++
+			usableTotal++
+		}
+		wantTotal := int(math.Round(float64(usableTotal) * cfg.SharedBufferFraction))
+		wants := make([]float64, len(counts))
+		floorSum := 0
+		for t, n := range counts {
+			wants[t] = float64(n) * cfg.SharedBufferFraction
+			floorSum += int(wants[t])
+		}
+		// Distribute the remainder to the largest fractional parts.
+		type rem struct {
+			t    int
+			frac float64
+		}
+		var rems []rem
+		for t := range wants {
+			rems = append(rems, rem{t, wants[t] - math.Floor(wants[t])})
+		}
+		sort.Slice(rems, func(i, j int) bool { return rems[i].frac > rems[j].frac })
+		extra := wantTotal - floorSum
+		bufCount := make([]int, len(counts))
+		for t := range wants {
+			bufCount[t] = int(wants[t])
+		}
+		for i := 0; i < extra && i < len(rems); i++ {
+			bufCount[rems[i].t]++
+		}
+		for t := range counts {
+			want := float64(bufCount[t])
+			if want <= 0 {
+				continue
+			}
+			specs = append(specs, resSpec{
+				res: reservation.Reservation{
+					ID:            reservation.SharedBuffer,
+					Name:          "shared-buffer/" + in.Region.Catalog.Type(t).ID,
+					Class:         hardware.FleetAvg,
+					RRUs:          want,
+					EligibleTypes: []int{t},
+					CountBased:    true,
+					Policy:        reservation.DefaultPolicy(),
+				},
+				outID:      reservation.SharedBuffer,
+				countBased: true,
+				isBuffer:   true,
+			})
+		}
+	}
+	return specs
+}
+
+// unusable reports whether a server must be filtered out of the solve: the
+// availability constraint excludes unplanned failures, while planned
+// maintenance remains usable capacity covered by embedded buffers (§3.3.1).
+func unusable(st *broker.ServerState) bool {
+	switch st.Unavail {
+	case broker.Available, broker.PlannedMaintenance:
+		return false
+	default:
+		return true
+	}
+}
+
+func usableServers(in Input) []topology.ServerID {
+	var pool []topology.ServerID
+	for i := range in.States {
+		if !unusable(&in.States[i]) {
+			pool = append(pool, topology.ServerID(i))
+		}
+	}
+	return pool
+}
+
+// rruValue is V_{s,r} for one hardware type and spec.
+func rruValue(cat *hardware.Catalog, typeIdx int, s *resSpec) float64 {
+	base := hardware.RRU(cat.Type(typeIdx), s.res.Class)
+	if base <= 0 {
+		return 0
+	}
+	if !s.res.Eligible(typeIdx, base) {
+		return 0
+	}
+	if s.countBased {
+		return 1
+	}
+	return base
+}
+
+// phaseOutput carries a solved phase back to realization.
+type phaseOutput struct {
+	stats  PhaseStats
+	groups []*group
+	specs  []resSpec
+	// counts[g][si] is the solved server count of group g for spec si
+	// (indices into groups/specs).
+	counts [][]float64
+}
+
+// solvePhase builds and solves one phase's MIP over the given server pool.
+// rackLevel selects the grouping granularity and enables expression 2.
+// targets carries phase-1 intent (used for warm starts in phase 2).
+func solvePhase(in Input, cfg Config, specs []resSpec, pool []topology.ServerID,
+	targets []reservation.ID, rackLevel bool, limit time.Duration) *phaseOutput {
+
+	out := &phaseOutput{specs: specs}
+
+	// ---------------- RAS build: grouping & constants. -------------------
+	t0 := time.Now()
+	out.groups = groupServers(in, pool, rackLevel, cfg.DisableSymmetry, cfg.WearPenalty > 0)
+	cat := in.Region.Catalog
+
+	// Per-(group, spec) RRU values and eligibility.
+	nG, nS := len(out.groups), len(specs)
+	vval := make([][]float64, nG)
+	for gi, g := range out.groups {
+		vval[gi] = make([]float64, nS)
+		for si := range specs {
+			s := &specs[si]
+			if s.res.Policy.SingleDC >= 0 && g.dc != s.res.Policy.SingleDC {
+				continue
+			}
+			vval[gi][si] = rruValue(cat, g.typeIdx, s)
+		}
+	}
+	out.stats.RASBuild = time.Since(t0)
+
+	// ---------------- Initial state. -------------------------------------
+	t0 = time.Now()
+	// Initial count X[g][s]: servers of g currently in spec s. The "current"
+	// reference is the broker's Current in phase 1 and the phase-1 target in
+	// phase 2, so phase 2 warm-starts from the phase-1 solution.
+	initCount := make([][]float64, nG)
+	specByID := make(map[reservation.ID][]int, nS)
+	for si := range specs {
+		specByID[specs[si].outID] = append(specByID[specs[si].outID], si)
+	}
+	for gi, g := range out.groups {
+		initCount[gi] = make([]float64, nS)
+		for _, id := range g.servers {
+			cur := in.States[id].Current
+			if rackLevel {
+				cur = targets[id]
+			}
+			cands := specByID[cur]
+			// Buffer specs share an outID; pick the one matching the type.
+			for _, si := range cands {
+				if vval[gi][si] > 0 {
+					initCount[gi][si]++
+					break
+				}
+			}
+		}
+	}
+	out.stats.InitialState = time.Since(t0)
+
+	// ---------------- Solver build: the MIP. ------------------------------
+	t0 = time.Now()
+	m := mip.NewModel()
+	var initX []float64 // warm-start values, parallel to model variables
+	addVar := func(v mip.Var, init float64) {
+		if int(v) != len(initX) {
+			panic("solver: variable/init bookkeeping out of sync")
+		}
+		initX = append(initX, init)
+	}
+
+	nVar := make([][]mip.Var, nG) // assignment count variables; -1 if absent
+	for gi := range nVar {
+		nVar[gi] = make([]mip.Var, nS)
+		for si := range nVar[gi] {
+			nVar[gi][si] = -1
+		}
+	}
+	for gi, g := range out.groups {
+		for si := range specs {
+			if vval[gi][si] <= 0 {
+				continue
+			}
+			// IO-aware placement (§5.2): worn flash assigned to a
+			// flash-consuming reservation carries a per-server cost.
+			wearCost := 0.0
+			if cfg.WearPenalty > 0 && g.wear > 0 && cat.Type(g.typeIdx).FlashTB > 0 && !specs[si].isBuffer {
+				wearCost = cfg.WearPenalty * float64(g.wear)
+			}
+			v := m.AddIntVar(fmt.Sprintf("n[g%d,%s]", gi, specs[si].res.Name),
+				wearCost, 0, float64(len(g.servers)))
+			addVar(v, initCount[gi][si])
+			nVar[gi][si] = v
+			out.stats.AssignVars++
+		}
+	}
+
+	// (5) assignment: Σ_s n_{g,s} ≤ |g|.
+	for gi, g := range out.groups {
+		var terms []mip.Term
+		for si := range specs {
+			if nVar[gi][si] >= 0 {
+				terms = append(terms, mip.Term{Var: nVar[gi][si], Coef: 1})
+			}
+		}
+		if terms != nil {
+			m.AddConstr(fmt.Sprintf("assign[g%d]", gi), terms, mip.LE, float64(len(g.servers)))
+		}
+	}
+
+	// (1) stability: cost M · max(0, X − n) per (group, spec) with X > 0.
+	for gi, g := range out.groups {
+		mcost := cfg.MoveCostIdle
+		if g.inUse {
+			mcost = cfg.MoveCostInUse
+		}
+		for si := range specs {
+			x0 := initCount[gi][si]
+			if x0 <= 0 || nVar[gi][si] < 0 {
+				continue
+			}
+			initVal := 0.0 // warm start keeps X servers, so max(0, X−n) = 0
+			y := m.AddPosPart(fmt.Sprintf("move[g%d,s%d]", gi, si),
+				[]mip.Term{{Var: nVar[gi][si], Coef: -1}}, x0, mcost)
+			addVar(y, initVal)
+		}
+	}
+
+	// Per-spec structures: MSB sums, envelope, capacity, spread, affinity.
+	msbGroups := make(map[int][]int, 64) // msb → group indices
+	for gi, g := range out.groups {
+		msbGroups[g.msb] = append(msbGroups[g.msb], gi)
+	}
+	rackGroups := make(map[int][]int, 256)
+	if rackLevel {
+		for gi, g := range out.groups {
+			rackGroups[g.rack] = append(rackGroups[g.rack], gi)
+		}
+	}
+	dcGroups := make(map[int][]int, 8)
+	for gi, g := range out.groups {
+		dcGroups[g.dc] = append(dcGroups[g.dc], gi)
+	}
+	msbs := sortedKeys(msbGroups)
+	racks := sortedKeys(rackGroups)
+
+	var capSlackVars []mip.Var
+	var affSlackVars []mip.Var
+
+	for si := range specs {
+		s := &specs[si]
+		cr := s.res.RRUs
+		if cr <= 0 {
+			continue
+		}
+
+		// Terms and initial sums per scope.
+		sumTerms := func(gis []int) ([]mip.Term, float64) {
+			var terms []mip.Term
+			initSum := 0.0
+			for _, gi := range gis {
+				if nVar[gi][si] < 0 {
+					continue
+				}
+				terms = append(terms, mip.Term{Var: nVar[gi][si], Coef: vval[gi][si]})
+				initSum += vval[gi][si] * initCount[gi][si]
+			}
+			return terms, initSum
+		}
+
+		var all []int
+		for gi := range out.groups {
+			all = append(all, gi)
+		}
+		totalTerms, initTotal := sumTerms(all)
+		if totalTerms == nil {
+			// Nothing in the region can serve this request: report the
+			// rejection instead of silently dropping the constraint.
+			out.stats.SoftSlack += cr
+			out.stats.Unserviceable = append(out.stats.Unserviceable,
+				fmt.Sprintf("%s: no usable eligible server (class %v, %d eligible types, singleDC %d)",
+					s.res.Name, s.res.Class, len(s.res.EligibleTypes), s.res.Policy.SingleDC))
+			continue
+		}
+
+		// (4)+(6): envelope z ≥ per-MSB sum, cost τ; capacity row uses z.
+		// Shared-buffer specs skip the embedded buffer (they *are* buffer).
+		var env mip.Var = -1
+		initEnv := 0.0
+		alphaF := s.res.Policy.SpreadMSB
+		if alphaF == 0 {
+			alphaF = cfg.AlphaMSB
+		}
+		if !s.isBuffer {
+			var groupsPerMSB [][]mip.Term
+			for _, msb := range msbs {
+				terms, isum := sumTerms(msbGroups[msb])
+				if terms == nil {
+					continue
+				}
+				groupsPerMSB = append(groupsPerMSB, terms)
+				if isum > initEnv {
+					initEnv = isum
+				}
+			}
+			if groupsPerMSB != nil {
+				env = m.AddUpperEnvelope(fmt.Sprintf("maxmsb[s%d]", si), groupsPerMSB, cfg.Tau)
+				addVar(env, initEnv)
+			}
+
+			// (3) MSB spread: β · max(0, Σ − αF·C).
+			for _, msb := range msbs {
+				terms, isum := sumTerms(msbGroups[msb])
+				if terms == nil {
+					continue
+				}
+				y := m.AddPosPart(fmt.Sprintf("spreadF[s%d,m%d]", si, msb),
+					terms, -alphaF*cr, cfg.Beta)
+				addVar(y, math.Max(0, isum-alphaF*cr))
+			}
+
+			// (2) rack spread, phase 2 only.
+			if rackLevel {
+				alphaK := s.res.Policy.SpreadRack
+				if alphaK == 0 {
+					alphaK = cfg.AlphaRack
+				}
+				for _, rk := range racks {
+					terms, isum := sumTerms(rackGroups[rk])
+					if terms == nil {
+						continue
+					}
+					y := m.AddPosPart(fmt.Sprintf("spreadK[s%d,r%d]", si, rk),
+						terms, -alphaK*cr, cfg.Beta)
+					addVar(y, math.Max(0, isum-alphaK*cr))
+				}
+			}
+		}
+
+		// (6) capacity with embedded buffer, softened: Σ V·n − z + slack ≥ C.
+		capTerms := append([]mip.Term(nil), totalTerms...)
+		initLHS := initTotal
+		if env >= 0 {
+			capTerms = append(capTerms, mip.Term{Var: env, Coef: -1})
+			initLHS -= initEnv
+		}
+		violation := math.Max(0, cr-initLHS)
+		if violation > 0 {
+			slack := m.AddVar(fmt.Sprintf("capslack[s%d]", si), cfg.SoftPenalty, 0, violation)
+			m.MarkPenalty(slack)
+			addVar(slack, violation)
+			capTerms = append(capTerms, mip.Term{Var: slack, Coef: 1})
+			capSlackVars = append(capSlackVars, slack)
+		}
+		m.AddConstr(fmt.Sprintf("capacity[s%d]", si), capTerms, mip.GE, cr)
+
+		// (7) network affinity per DC, softened symmetrically.
+		if len(s.res.Policy.DCAffinity) > 0 {
+			theta := s.res.Policy.AffinityTheta
+			if theta == 0 {
+				theta = cfg.AffinityTheta
+			}
+			for dc := 0; dc < in.Region.NumDCs; dc++ {
+				a, ok := s.res.Policy.DCAffinity[dc]
+				if !ok {
+					a = 0
+				}
+				terms, isum := sumTerms(dcGroups[dc])
+				if terms == nil {
+					if a > theta {
+						// Impossible affinity; leave to slack-free soft fail.
+						continue
+					}
+					continue
+				}
+				hi := a*cr + theta*cr
+				lo := a*cr - theta*cr
+				viol := math.Max(math.Max(0, isum-hi), math.Max(0, lo-isum))
+				// Soften with "no regress beyond the initial violation"
+				// semantics (§3.5.1), plus a two-server allowance for the
+				// discrete granularity of count variables: a hard row made
+				// purely of integer variables would leave rounding
+				// heuristics no room to breathe.
+				slackUB := viol + 2
+				sl := m.AddVar(fmt.Sprintf("affslack[s%d,d%d]", si, dc),
+					cfg.SoftPenalty, 0, slackUB)
+				m.MarkPenalty(sl)
+				addVar(sl, viol)
+				affSlackVars = append(affSlackVars, sl)
+				up := append(append([]mip.Term(nil), terms...), mip.Term{Var: sl, Coef: -1})
+				m.AddConstr(fmt.Sprintf("aff-hi[s%d,d%d]", si, dc), up, mip.LE, hi)
+				dn := append(append([]mip.Term(nil), terms...), mip.Term{Var: sl, Coef: 1})
+				m.AddConstr(fmt.Sprintf("aff-lo[s%d,d%d]", si, dc), dn, mip.GE, lo)
+			}
+		}
+	}
+
+	m.SetInitial(initX)
+	out.stats.ModelVars = m.NumVars()
+	out.stats.ModelRows = m.NumConstrs()
+	out.stats.Groups = nG
+	out.stats.SolverBuild = time.Since(t0)
+
+	// ---------------- MIP step. -------------------------------------------
+	out.counts = initCount // fall back to "no change" if the MIP is skipped
+	if cfg.SetupOnly {
+		out.stats.Status = mip.NoSolution
+		return out
+	}
+	t0 = time.Now()
+	// Gap tolerances: proving optimality below the cost of a single idle
+	// move is pointless churn, so stop there (the paper likewise accepts
+	// early timeouts and measures the remaining gap, Figure 9).
+	r := m.Solve(mip.Options{
+		TimeLimit:   limit,
+		MaxNodes:    cfg.MaxNodes,
+		AbsGap:      0.9 * cfg.MoveCostIdle,
+		RelGap:      0.02,
+		NoWarmStart: cfg.DisableWarmStart,
+	})
+	out.stats.MIP = time.Since(t0)
+	out.stats.Status = r.Status
+	out.stats.Nodes = r.Nodes
+	out.stats.LPSolves = r.LPSolves
+	out.stats.LPIters = r.LPIters
+	out.stats.LPLimited = r.LPLimited
+	if r.Status == mip.Optimal || r.Status == mip.Feasible {
+		out.stats.Objective = r.Objective
+		out.stats.Bound = r.Bound
+		out.stats.GapPreemptions = r.Gap() / cfg.MoveCostInUse
+		counts := make([][]float64, nG)
+		for gi := range out.groups {
+			counts[gi] = make([]float64, nS)
+			for si := range specs {
+				if nVar[gi][si] >= 0 {
+					counts[gi][si] = math.Round(r.X[nVar[gi][si]])
+				}
+			}
+		}
+		out.counts = counts
+		for _, sv := range capSlackVars {
+			out.stats.SoftSlack += r.X[sv]
+			if debugSlack && r.X[sv] > 1e-6 {
+				fmt.Printf("SLACK %s = %.3f\n", m.VarName(sv), r.X[sv])
+			}
+		}
+		for _, sv := range affSlackVars {
+			out.stats.SoftSlack += r.X[sv]
+		}
+	}
+	return out
+}
+
+// groupServers computes the symmetry equivalence classes of the pool.
+func groupServers(in Input, pool []topology.ServerID, rackLevel, noSymmetry, wearAware bool) []*group {
+	type key struct {
+		typeIdx int
+		scope   int // MSB or rack index
+		cur     reservation.ID
+		inUse   bool
+		wear    int               // wear bucket; 0 unless wear-aware placement is on
+		server  topology.ServerID // set only when symmetry is disabled
+	}
+	byKey := make(map[key]*group, 256)
+	var order []key
+	for _, id := range pool {
+		srv := &in.Region.Servers[id]
+		st := &in.States[id]
+		inUse := st.Containers > 0 && st.LoanedTo == reservation.Unassigned
+		scope := srv.MSB
+		if rackLevel {
+			scope = srv.Rack
+		}
+		k := key{typeIdx: srv.Type, scope: scope, cur: st.Current, inUse: inUse, server: -1}
+		if noSymmetry {
+			k.server = id
+		}
+		if wearAware && in.Region.Catalog.Type(srv.Type).FlashTB > 0 {
+			k.wear = wearBucket(st.FlashWear)
+		}
+		g, ok := byKey[k]
+		if !ok {
+			g = &group{typeIdx: srv.Type, msb: srv.MSB, dc: srv.DC, rack: -1, cur: st.Current, inUse: inUse, wear: k.wear}
+			if rackLevel {
+				g.rack = srv.Rack
+			}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.servers = append(g.servers, id)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.scope != b.scope {
+			return a.scope < b.scope
+		}
+		if a.typeIdx != b.typeIdx {
+			return a.typeIdx < b.typeIdx
+		}
+		if a.cur != b.cur {
+			return a.cur < b.cur
+		}
+		return !a.inUse && b.inUse
+	})
+	groups := make([]*group, 0, len(order))
+	for _, k := range order {
+		groups = append(groups, byKey[k])
+	}
+	return groups
+}
+
+// realize distributes solved group counts onto concrete servers, writing
+// Targets. Within a group, servers already in the target reservation are
+// kept first to minimize real-world churn.
+func realize(in Input, specs []resSpec, p *phaseOutput, targets []reservation.ID) {
+	for gi, g := range p.groups {
+		// Order servers so that, for each spec in turn, ones already bound
+		// to the spec's reservation come first.
+		remaining := append([]topology.ServerID(nil), g.servers...)
+		for si := range specs {
+			want := int(p.counts[gi][si])
+			if want <= 0 {
+				continue
+			}
+			outID := specs[si].outID
+			// Stable partition: current members first.
+			sort.SliceStable(remaining, func(a, b int) bool {
+				ca := in.States[remaining[a]].Current == outID
+				cb := in.States[remaining[b]].Current == outID
+				return ca && !cb
+			})
+			if want > len(remaining) {
+				want = len(remaining)
+			}
+			for _, id := range remaining[:want] {
+				targets[id] = outID
+			}
+			remaining = remaining[want:]
+		}
+		for _, id := range remaining {
+			targets[id] = reservation.Unassigned
+		}
+	}
+}
+
+// pickPhase2 selects the reservations with the worst rack-level objectives
+// for phase-2 refinement, under the variable cap (§3.5.2). It returns a set
+// of output reservation IDs (possibly including reservation.SharedBuffer).
+func pickPhase2(in Input, cfg Config, specs []resSpec, targets []reservation.ID) map[reservation.ID]bool {
+	cat := in.Region.Catalog
+
+	// Rack-level RRU load per output reservation from the phase-1 targets.
+	type load struct {
+		excess float64
+		racks  int
+	}
+	perRes := make(map[reservation.ID]*load)
+	rackSum := make(map[[2]int64]float64) // (res, rack) → RRU sum
+	crByID := make(map[reservation.ID]float64)
+	classByID := make(map[reservation.ID]hardware.Class)
+	alphaByID := make(map[reservation.ID]float64)
+	countBased := make(map[reservation.ID]bool)
+	for si := range specs {
+		s := &specs[si]
+		if s.isBuffer {
+			continue
+		}
+		crByID[s.outID] += s.res.RRUs
+		classByID[s.outID] = s.res.Class
+		countBased[s.outID] = s.countBased
+		a := s.res.Policy.SpreadRack
+		if a == 0 {
+			a = cfg.AlphaRack
+		}
+		alphaByID[s.outID] = a
+	}
+	for i := range in.Region.Servers {
+		id := targets[i]
+		if _, ok := crByID[id]; !ok {
+			continue
+		}
+		srv := &in.Region.Servers[i]
+		v := 1.0
+		if !countBased[id] {
+			v = hardware.RRU(cat.Type(srv.Type), classByID[id])
+		}
+		rackSum[[2]int64{int64(id), int64(srv.Rack)}] += v
+	}
+	for k, sum := range rackSum {
+		id := reservation.ID(k[0])
+		l := perRes[id]
+		if l == nil {
+			l = &load{}
+			perRes[id] = l
+		}
+		if over := sum - alphaByID[id]*crByID[id]; over > 0 {
+			l.excess += over
+		}
+		l.racks++
+	}
+
+	type cand struct {
+		id     reservation.ID
+		excess float64
+	}
+	var cands []cand
+	for id, l := range perRes {
+		if l.excess > 0 {
+			cands = append(cands, cand{id, l.excess})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].excess != cands[j].excess {
+			return cands[i].excess > cands[j].excess
+		}
+		return cands[i].id < cands[j].id
+	})
+
+	maxRes := int(math.Ceil(cfg.Phase2ResFraction * float64(len(crByID))))
+	if maxRes < 1 {
+		maxRes = 1
+	}
+	// Estimated variables per reservation: one per (rack, type) pair it can
+	// touch; a cheap over-estimate of racks × 2 keeps selection simple.
+	varBudget := cfg.Phase2MaxVars
+	out := make(map[reservation.ID]bool)
+	for _, c := range cands {
+		if len(out) >= maxRes {
+			break
+		}
+		est := in.Region.NumRacks * 2
+		if est > varBudget {
+			break
+		}
+		varBudget -= est
+		out[c.id] = true
+	}
+	return out
+}
+
+func sortedKeys(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

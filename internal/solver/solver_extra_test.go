@@ -1,0 +1,188 @@
+package solver
+
+import (
+	"testing"
+
+	"ras/internal/broker"
+	"ras/internal/hardware"
+	"ras/internal/reservation"
+)
+
+// TestRRUvsCountSemantics: an RRU-based Web reservation needs fewer GenIII
+// servers than GenI servers for the same capacity; a count-based one treats
+// all eligible servers equally.
+func TestRRUvsCountSemantics(t *testing.T) {
+	region := testRegion(t, 1, 2, 6, 8, 21)
+	rruRes := []reservation.Reservation{
+		{ID: 0, Name: "rru", Class: hardware.Web, RRUs: 20, Policy: reservation.DefaultPolicy()},
+	}
+	res, err := Solve(freshInput(region, rruRes), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the RRU sum meets the requirement even though the server count
+	// may be below 20 (new-generation servers are worth > 1 RRU each).
+	servers, rrus := 0, 0.0
+	for i, tgt := range res.Targets {
+		if tgt == 0 {
+			servers++
+			rrus += hardware.RRU(region.Catalog.Type(region.Servers[i].Type), hardware.Web)
+		}
+	}
+	if rrus < 20 {
+		t.Fatalf("RRU capacity %f < 20", rrus)
+	}
+	if float64(servers) >= rrus*1.5 {
+		t.Fatalf("server count %d implausibly high for %f RRUs", servers, rrus)
+	}
+}
+
+// TestEligibleTypesRestriction: a reservation restricted to one hardware
+// type only ever receives that type.
+func TestEligibleTypesRestriction(t *testing.T) {
+	region := testRegion(t, 1, 3, 6, 6, 22)
+	// Pick the Web-eligible type most common in this region so the request
+	// is trivially satisfiable.
+	counts := make(map[int]int)
+	for i := range region.Servers {
+		counts[region.Servers[i].Type]++
+	}
+	want, best := -1, 0
+	for _, tt := range region.Catalog.EligibleTypes(hardware.Web) {
+		if counts[tt] > best {
+			want, best = tt, counts[tt]
+		}
+	}
+	if best < 10 {
+		t.Skip("region lacks a well-populated Web-eligible type")
+	}
+	rsvs := []reservation.Reservation{
+		{ID: 0, Name: "narrow", Class: hardware.Web, RRUs: 3, CountBased: true,
+			EligibleTypes: []int{want}, Policy: reservation.DefaultPolicy()},
+	}
+	res, err := Solve(freshInput(region, rsvs), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i, tgt := range res.Targets {
+		if tgt == 0 {
+			if region.Servers[i].Type != want {
+				t.Fatalf("server %d of type %d assigned; only type %d eligible",
+					i, region.Servers[i].Type, want)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("nothing assigned under type restriction")
+	}
+}
+
+// TestLoanedServersAreCheapToMove: servers loaned to elastic reservations
+// count as unused moves even with containers running.
+func TestLoanedServersAreCheapToMove(t *testing.T) {
+	region := testRegion(t, 1, 2, 3, 4, 23)
+	in := freshInput(region, []reservation.Reservation{
+		{ID: 0, Name: "web", Class: hardware.Web, RRUs: 6, CountBased: true, Policy: reservation.DefaultPolicy()},
+	})
+	// One server currently in reservation 7 (absent from input → will be
+	// reclaimed), loaned out with containers.
+	in.States[0].Current = 7
+	in.States[0].LoanedTo = 9
+	in.States[0].Containers = 4
+	res, err := Solve(in, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves.InUse != 0 {
+		t.Fatalf("loaned server move counted as in-use: %+v", res.Moves)
+	}
+}
+
+// TestSolverConfigDefaults: the zero config resolves to documented values.
+func TestSolverConfigDefaults(t *testing.T) {
+	region := testRegion(t, 1, 2, 2, 2, 24)
+	cfg := Config{}.withDefaults(region)
+	if cfg.MoveCostInUse != 10 || cfg.MoveCostIdle != 1 {
+		t.Fatalf("move costs %v/%v, want 10/1 (the paper's 10x ratio)", cfg.MoveCostInUse, cfg.MoveCostIdle)
+	}
+	if cfg.SharedBufferFraction != 0.02 {
+		t.Fatalf("shared buffer fraction %v, want 0.02", cfg.SharedBufferFraction)
+	}
+	if cfg.AlphaMSB <= 0 || cfg.AlphaMSB > 1 || cfg.AlphaRack <= 0 {
+		t.Fatalf("alpha defaults: %v / %v", cfg.AlphaMSB, cfg.AlphaRack)
+	}
+	if cfg.SoftPenalty <= cfg.MoveCostInUse {
+		t.Fatal("soft penalty must dominate move costs")
+	}
+}
+
+// TestPhase2Selection: pickPhase2 prefers reservations with the worst
+// rack-level concentration.
+func TestPhase2Selection(t *testing.T) {
+	region := testRegion(t, 1, 2, 6, 6, 25)
+	in := freshInput(region, nil)
+	cfg := Config{}.withDefaults(region)
+	specs := []resSpec{
+		{res: reservation.Reservation{ID: 0, Name: "concentrated", Class: hardware.Web, RRUs: 10, CountBased: true}, outID: 0, countBased: true},
+		{res: reservation.Reservation{ID: 1, Name: "spread", Class: hardware.Web, RRUs: 10, CountBased: true}, outID: 1, countBased: true},
+	}
+	targets := make([]reservation.ID, len(region.Servers))
+	for i := range targets {
+		targets[i] = reservation.Unassigned
+	}
+	// Reservation 0: all in one rack. Reservation 1: one per rack.
+	rack0 := 0
+	placed0, lastRack := 0, -1
+	for i := range region.Servers {
+		if region.Servers[i].Rack == rack0 && placed0 < 10 {
+			targets[i] = 0
+			placed0++
+		} else if region.Servers[i].Rack != lastRack && region.Servers[i].Rack != rack0 {
+			targets[i] = 1
+			lastRack = region.Servers[i].Rack
+		}
+	}
+	subset := pickPhase2(in, cfg, specs, targets)
+	if !subset[0] {
+		t.Fatalf("phase 2 did not select the rack-concentrated reservation: %v", subset)
+	}
+}
+
+// TestUnusableClassification verifies the §3.3.1 rule: unplanned events are
+// filtered, planned maintenance stays usable.
+func TestUnusableClassification(t *testing.T) {
+	cases := map[broker.UnavailKind]bool{
+		broker.Available:          false,
+		broker.PlannedMaintenance: false,
+		broker.RandomFailure:      true,
+		broker.ToRFailure:         true,
+		broker.CorrelatedFailure:  true,
+	}
+	for kind, want := range cases {
+		st := broker.ServerState{Unavail: kind}
+		if got := unusable(&st); got != want {
+			t.Errorf("unusable(%v) = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+// TestSharedBufferSizedByLargestRemainder: the per-type buffer totals match
+// the configured fraction without per-type ceil inflation.
+func TestSharedBufferSizedByLargestRemainder(t *testing.T) {
+	region := testRegion(t, 1, 3, 6, 6, 26)
+	in := freshInput(region, nil)
+	cfg := Config{SharedBufferFraction: 0.02}.withDefaults(region)
+	specs := buildSpecs(in, cfg)
+	total := 0.0
+	for _, s := range specs {
+		if s.isBuffer {
+			total += s.res.RRUs
+		}
+	}
+	want := float64(len(region.Servers)) * 0.02
+	if total < want-1 || total > want+1 {
+		t.Fatalf("buffer total %v, want ≈ %v (2%% of %d servers)", total, want, len(region.Servers))
+	}
+}

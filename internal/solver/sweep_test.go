@@ -1,0 +1,31 @@
+package solver
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestInvariantSweep runs the randomized invariant check over a wide seed
+// range. It is gated behind RAS_SWEEP_SEEDS because the full sweep takes
+// minutes; CI runs the fixed 1..15 range in TestQuickSolveInvariants.
+func TestInvariantSweep(t *testing.T) {
+	nStr := os.Getenv("RAS_SWEEP_SEEDS")
+	if nStr == "" {
+		t.Skip("set RAS_SWEEP_SEEDS=N to sweep N seeds")
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		if !invariantCheck(t, seed) {
+			t.Errorf("invariants violated at seed %d", seed)
+			failures++
+			if failures > 5 {
+				t.Fatal("too many failures; stopping sweep")
+			}
+		}
+	}
+}

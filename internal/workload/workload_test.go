@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ras/internal/hardware"
+)
+
+func TestRequestSizesSpanPaperRange(t *testing.T) {
+	g := NewRequestGen(hardware.DefaultCatalog(), 30000, 1)
+	small, large := false, false
+	for i := 0; i < 2000; i++ {
+		r := g.Next()
+		if r.RRUs < 1 {
+			t.Fatalf("request size %v < 1", r.RRUs)
+		}
+		if r.RRUs > 30000 {
+			t.Fatalf("request size %v above cap", r.RRUs)
+		}
+		if r.RRUs <= 10 {
+			small = true
+		}
+		if r.RRUs >= 10000 {
+			large = true
+		}
+	}
+	if !small || !large {
+		t.Fatal("sizes must span 1..30k (Figure 4)")
+	}
+}
+
+func TestFungibilityBimodal(t *testing.T) {
+	g := NewRequestGen(hardware.DefaultCatalog(), 30000, 2)
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		r := g.Next()
+		counts[len(r.EligibleTypes)]++
+	}
+	// Figure 4: a strong mode at exactly 1 type and a strong mode around 8.
+	mid := counts[7] + counts[8] + counts[9]
+	if counts[1] < 300 {
+		t.Fatalf("single-type requests: %d of 3000, want a strong mode", counts[1])
+	}
+	if mid < 600 {
+		t.Fatalf("7-9-type requests: %d of 3000, want the big mode", mid)
+	}
+}
+
+func TestSingleTypeRequestsAreNewest(t *testing.T) {
+	cat := hardware.DefaultCatalog()
+	g := NewRequestGen(cat, 30000, 3)
+	for i := 0; i < 500; i++ {
+		r := g.Next()
+		if len(r.EligibleTypes) != 1 {
+			continue
+		}
+		ty := cat.Type(r.EligibleTypes[0])
+		if ty.Generation == hardware.GenI {
+			t.Fatalf("single-type request got GenI hardware %s", ty.ID)
+		}
+	}
+}
+
+func TestRequestsValid(t *testing.T) {
+	g := NewRequestGen(hardware.DefaultCatalog(), 1000, 4)
+	for i := 0; i < 500; i++ {
+		r := g.Next()
+		if err := r.Validate(); err != nil {
+			t.Fatalf("generated invalid request: %v", err)
+		}
+		if r.Name == "" {
+			t.Fatal("unnamed request")
+		}
+	}
+}
+
+func TestRequestGenDeterministic(t *testing.T) {
+	a := NewRequestGen(hardware.DefaultCatalog(), 1000, 9)
+	b := NewRequestGen(hardware.DefaultCatalog(), 1000, 9)
+	for i := 0; i < 50; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra.RRUs != rb.RRUs || ra.Class != rb.Class || len(ra.EligibleTypes) != len(rb.EligibleTypes) {
+			t.Fatal("same seed produced different requests")
+		}
+	}
+}
+
+func TestDiurnalRateShape(t *testing.T) {
+	const hour = 3600
+	peak := DiurnalRate(11*hour, 100)              // Monday 11:00
+	night := DiurnalRate(3*hour, 100)              // Monday 03:00
+	weekend := DiurnalRate(5*24*hour+11*hour, 100) // Saturday 11:00
+	if peak != 100 {
+		t.Fatalf("weekday working hour = %v, want 100", peak)
+	}
+	if night >= peak/2 {
+		t.Fatalf("night rate %v not well below peak", night)
+	}
+	if weekend >= night+1 && weekend > 15 {
+		t.Fatalf("weekend rate %v should be lowest band", weekend)
+	}
+}
+
+func TestQuickDiurnalBounds(t *testing.T) {
+	check := func(tt int64) bool {
+		r := DiurnalRate(tt, 50)
+		return r >= 0 && r <= 50
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainerGenBounds(t *testing.T) {
+	g := NewContainerGen(8, 5)
+	for i := 0; i < 1000; i++ {
+		u := g.Next()
+		if u < 1 || u > 8 {
+			t.Fatalf("container size %d outside [1,8]", u)
+		}
+	}
+}
+
+func TestContainerGenMostlySmall(t *testing.T) {
+	g := NewContainerGen(8, 6)
+	small := 0
+	for i := 0; i < 1000; i++ {
+		if g.Next() <= 2 {
+			small++
+		}
+	}
+	if small < 700 {
+		t.Fatalf("only %d/1000 small containers; distribution should be small-heavy", small)
+	}
+}

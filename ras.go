@@ -1,0 +1,311 @@
+// Package ras is a from-scratch reproduction of RAS, Facebook's
+// region-wide datacenter resource allocator (Newell et al., SOSP 2021).
+//
+// RAS provides guaranteed capacity through a two-level architecture:
+//
+//  1. The async solver (internal/solver) continuously optimizes
+//     server-to-reservation assignments for a whole region by solving a
+//     mixed-integer program — accounting for random and correlated
+//     failures, planned maintenance, heterogeneous hardware (via relative
+//     resource units), network affinity, and fault-domain spread — off the
+//     critical path, and the online mover (internal/mover) executes its
+//     decisions and handles sub-minute failure replacement.
+//  2. A container allocator (internal/allocator) places containers on
+//     servers within each reservation in real time.
+//
+// This package is the public façade: it wires the substrates into a System
+// and re-exports the domain types a user needs. See the examples directory
+// for runnable scenarios and DESIGN.md for the system inventory.
+package ras
+
+import (
+	"fmt"
+	"time"
+
+	"ras/internal/allocator"
+	"ras/internal/broker"
+	"ras/internal/greedy"
+	"ras/internal/hardware"
+	"ras/internal/health"
+	"ras/internal/localsearch"
+	"ras/internal/mover"
+	"ras/internal/reservation"
+	"ras/internal/sim"
+	"ras/internal/solver"
+	"ras/internal/topology"
+)
+
+// Re-exported domain types. The internal packages remain the source of
+// truth; these aliases form the public API surface.
+type (
+	// Region is the physical inventory of datacenters, MSBs, racks, and
+	// servers RAS allocates over.
+	Region = topology.Region
+	// RegionSpec parameterizes the synthetic region generator.
+	RegionSpec = topology.GenSpec
+	// ServerID identifies a server within a region.
+	ServerID = topology.ServerID
+	// Reservation is a logical cluster with guaranteed capacity.
+	Reservation = reservation.Reservation
+	// ReservationID identifies a reservation.
+	ReservationID = reservation.ID
+	// Policy captures a reservation's placement requirements.
+	Policy = reservation.Policy
+	// Class is a service class with distinct hardware affinity.
+	Class = hardware.Class
+	// SolverConfig tunes the async solver.
+	SolverConfig = solver.Config
+	// SolveResult is the outcome of one continuous-optimization round.
+	SolveResult = solver.Result
+	// ContainerID identifies a container placed by the allocator.
+	ContainerID = allocator.ContainerID
+	// HealthConfig sets failure-injection rates.
+	HealthConfig = health.Config
+	// Clock is virtual time in seconds since the simulation epoch.
+	Clock = sim.Time
+)
+
+// Re-exported service classes.
+const (
+	DataStore = hardware.DataStore
+	Feed1     = hardware.Feed1
+	Feed2     = hardware.Feed2
+	Web       = hardware.Web
+	FleetAvg  = hardware.FleetAvg
+	BatchML   = hardware.BatchML
+)
+
+// Special reservation IDs.
+const (
+	// Unassigned marks a server in the regional free pool.
+	Unassigned = reservation.Unassigned
+	// SharedBuffer marks a server in the shared random-failure buffer.
+	SharedBuffer = reservation.SharedBuffer
+)
+
+// NewRegion generates a synthetic region from the spec.
+func NewRegion(spec RegionSpec) (*Region, error) { return topology.Generate(spec) }
+
+// DefaultPolicy returns the placement policy used when none is specified.
+func DefaultPolicy() Policy { return reservation.DefaultPolicy() }
+
+// Options configures a System.
+type Options struct {
+	// Solver tunes the async solver; the zero value selects defaults.
+	Solver SolverConfig
+	// Health sets failure-injection rates; the zero value selects
+	// health.DefaultConfig().
+	Health *HealthConfig
+	// StackingUnits is the per-server container stacking capacity. Zero
+	// means 8.
+	StackingUnits int
+	// Greedy switches server assignment to the Twine-greedy baseline
+	// (paper §1.1) instead of the RAS solver. Used for baseline
+	// comparisons (Figures 12, 14, 15).
+	Greedy bool
+}
+
+// System is a fully wired two-level RAS deployment over one region: broker,
+// health-check service, async solver, online mover, and container
+// allocator.
+type System struct {
+	region *topology.Region
+	broker *broker.Broker
+	store  *reservation.Store
+	health *health.Service
+	mover  *mover.Mover
+	alloc  *allocator.Allocator
+	greedy *greedy.Assigner
+
+	opts      Options
+	lastSolve *solver.Result
+}
+
+// NewSystem wires a System over the region.
+func NewSystem(region *Region, opts Options) *System {
+	b := broker.New(region)
+	store := reservation.NewStore()
+	hcfg := health.DefaultConfig()
+	if opts.Health != nil {
+		hcfg = *opts.Health
+	}
+	al := allocator.New(b, opts.StackingUnits)
+	mv := mover.New(b, store, al)
+	s := &System{
+		region: region,
+		broker: b,
+		store:  store,
+		health: health.New(b, hcfg),
+		mover:  mv,
+		alloc:  al,
+		greedy: greedy.New(b),
+		opts:   opts,
+	}
+	// The online mover subscribes to unavailability events (Figure 6
+	// step 7) and provides replacement servers within a minute.
+	b.Subscribe(func(ev broker.Event) { mv.HandleFailure(ev, ev.Time) })
+	return s
+}
+
+// Accessors for the wired components (read-mostly; the components' own
+// methods are safe for concurrent use).
+
+// Region returns the physical topology.
+func (s *System) Region() *Region { return s.region }
+
+// Broker returns the resource broker.
+func (s *System) Broker() *broker.Broker { return s.broker }
+
+// Reservations returns the reservation store (the Capacity Portal state).
+func (s *System) Reservations() *reservation.Store { return s.store }
+
+// Health returns the health-check service / failure injector.
+func (s *System) Health() *health.Service { return s.health }
+
+// Mover returns the online mover.
+func (s *System) Mover() *mover.Mover { return s.mover }
+
+// Allocator returns the container allocator.
+func (s *System) Allocator() *allocator.Allocator { return s.alloc }
+
+// CreateReservation registers a capacity request and returns its ID. The
+// capacity materializes at the next Solve (or immediately under the greedy
+// baseline).
+func (s *System) CreateReservation(r Reservation) (ReservationID, error) {
+	id, err := s.store.Create(r)
+	if err != nil {
+		return 0, err
+	}
+	if s.opts.Greedy && !r.Elastic {
+		rr, _ := s.store.Get(id)
+		s.greedy.Fulfill(&rr)
+	}
+	return id, nil
+}
+
+// ResizeReservation changes a reservation's requested RRUs.
+func (s *System) ResizeReservation(id ReservationID, rrus float64) error {
+	if err := s.store.Resize(id, rrus); err != nil {
+		return err
+	}
+	if s.opts.Greedy {
+		rr, _ := s.store.Get(id)
+		s.greedy.Fulfill(&rr)
+		s.greedy.Release(&rr)
+	}
+	return nil
+}
+
+// DeleteReservation removes a reservation; its servers return to the free
+// pool at the next Solve.
+func (s *System) DeleteReservation(id ReservationID) error { return s.store.Delete(id) }
+
+// Solve runs one continuous-optimization round (Figure 6 steps 2–5): it
+// snapshots the broker and reservation store, solves the two-phase MIP,
+// persists the target bindings, and has the online mover execute them.
+func (s *System) Solve(now Clock) (*SolveResult, error) {
+	if s.opts.Greedy {
+		missing := s.greedy.FulfillAll(s.store.All())
+		if missing > 0 {
+			return nil, fmt.Errorf("ras: greedy baseline left %.1f RRUs unfulfilled", missing)
+		}
+		return &solver.Result{}, nil
+	}
+	in := solver.Input{
+		Region:       s.region,
+		Reservations: s.store.All(),
+		States:       s.broker.Snapshot(),
+	}
+	res, err := solver.Solve(in, s.opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+	targets := make(map[topology.ServerID]reservation.ID, len(res.Targets))
+	for i, tgt := range res.Targets {
+		targets[topology.ServerID(i)] = tgt
+	}
+	s.broker.SetTargets(targets)
+	s.mover.ApplyTargets(now)
+	s.lastSolve = res
+	return res, nil
+}
+
+// SolveLocalSearch runs one optimization round using the local-search
+// backend instead of the MIP (the other ReBalancer backend of paper §6:
+// near-realtime, slightly lower placement quality). Targets are persisted
+// and executed exactly as Solve does.
+func (s *System) SolveLocalSearch(now Clock, timeLimit time.Duration) (*localsearch.Result, error) {
+	in := solver.Input{
+		Region:       s.region,
+		Reservations: s.store.All(),
+		States:       s.broker.Snapshot(),
+	}
+	res, err := localsearch.Solve(in, localsearch.Config{TimeLimit: timeLimit})
+	if err != nil {
+		return nil, err
+	}
+	targets := make(map[topology.ServerID]reservation.ID, len(res.Targets))
+	for i, tgt := range res.Targets {
+		targets[topology.ServerID(i)] = tgt
+	}
+	s.broker.SetTargets(targets)
+	s.mover.ApplyTargets(now)
+	return res, nil
+}
+
+// LastSolve returns the most recent solve result (nil before the first).
+func (s *System) LastSolve() *SolveResult { return s.lastSolve }
+
+// PlaceContainer starts one container of the given size in the reservation.
+func (s *System) PlaceContainer(res ReservationID, job string, units int) (ContainerID, error) {
+	return s.alloc.Place(res, job, units)
+}
+
+// StopContainer removes a container.
+func (s *System) StopContainer(id ContainerID) error { return s.alloc.Stop(id) }
+
+// LoanBuffersToElastic hands idle shared-buffer servers to the registered
+// elastic reservations (§3.4) and returns the number of loans made.
+func (s *System) LoanBuffersToElastic() int {
+	var elastic []reservation.ID
+	for _, r := range s.store.All() {
+		if r.Elastic {
+			elastic = append(elastic, r.ID)
+		}
+	}
+	return s.mover.LoanIdleBuffers(elastic)
+}
+
+// GuaranteedRRUs reports how many RRUs of capacity the reservation's
+// current servers deliver, and how many survive the loss of its most-loaded
+// MSB (the capacity guarantee of expression 6).
+func (s *System) GuaranteedRRUs(id ReservationID) (total, afterWorstMSB float64, err error) {
+	r, err := s.store.Get(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	perMSB := make([]float64, s.region.NumMSBs)
+	for _, sid := range s.broker.ServersIn(id) {
+		srv := s.region.Server(sid)
+		v := hardware.RRU(s.region.Catalog.Type(srv.Type), r.Class)
+		if r.CountBased {
+			v = 1
+		}
+		if v <= 0 {
+			continue
+		}
+		total += v
+		perMSB[srv.MSB] += v
+	}
+	worst := 0.0
+	for _, v := range perMSB {
+		if v > worst {
+			worst = v
+		}
+	}
+	return total, total - worst, nil
+}
+
+// NewEngine returns a fresh discrete-event simulation engine for driving a
+// System through virtual time.
+func NewEngine() *sim.Engine { return sim.NewEngine() }

@@ -1,0 +1,189 @@
+package ras_test
+
+import (
+	"testing"
+	"time"
+
+	"ras"
+	"ras/internal/sim"
+)
+
+func testSystem(t testing.TB) *ras.System {
+	t.Helper()
+	region, err := ras.NewRegion(ras.RegionSpec{
+		Name: "api-test", DCs: 2, MSBsPerDC: 2,
+		RacksPerMSB: 4, ServersPerRack: 6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ras.NewSystem(region, ras.Options{})
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	id, err := sys.CreateReservation(ras.Reservation{
+		Name: "web", Class: ras.Web, RRUs: 30, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phase1.AssignVars == 0 {
+		t.Fatal("no assignment variables")
+	}
+	if sys.LastSolve() != res {
+		t.Fatal("LastSolve mismatch")
+	}
+	total, surviving, err := sys.GuaranteedRRUs(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surviving < 30 {
+		t.Fatalf("capacity guarantee broken: %.1f total, %.1f surviving vs 30 requested",
+			total, surviving)
+	}
+	cid, err := sys.PlaceContainer(id, "job", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StopContainer(cid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemResizeAndDelete(t *testing.T) {
+	sys := testSystem(t)
+	id, err := sys.CreateReservation(ras.Reservation{
+		Name: "svc", Class: ras.FleetAvg, RRUs: 10, CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Solve(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ResizeReservation(id, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Solve(sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	total, _, _ := sys.GuaranteedRRUs(id)
+	if total < 20 {
+		t.Fatalf("resize not materialized: %.1f < 20", total)
+	}
+	if err := sys.DeleteReservation(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Solve(2 * sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sys.Broker().ServersIn(id)); n != 0 {
+		t.Fatalf("%d servers still bound after delete+solve", n)
+	}
+}
+
+func TestSystemGreedyBaseline(t *testing.T) {
+	region, err := ras.NewRegion(ras.RegionSpec{
+		Name: "greedy", DCs: 1, MSBsPerDC: 3, RacksPerMSB: 4, ServersPerRack: 6, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ras.NewSystem(region, ras.Options{Greedy: true})
+	id, err := sys.CreateReservation(ras.Reservation{
+		Name: "svc", Class: ras.Web, RRUs: 8, CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy materializes capacity immediately, on the critical path.
+	if got := len(sys.Broker().ServersIn(id)); got < 8 {
+		t.Fatalf("greedy assigned %d servers, want ≥ 8", got)
+	}
+	if _, err := sys.Solve(0); err != nil {
+		t.Fatalf("greedy Solve: %v", err)
+	}
+}
+
+func TestSystemElasticLoans(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := sys.CreateReservation(ras.Reservation{
+		Name: "web", Class: ras.Web, RRUs: 20, Policy: ras.DefaultPolicy(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	el, err := sys.CreateReservation(ras.Reservation{
+		Name: "batch", Class: ras.FleetAvg, Elastic: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Solve(0); err != nil {
+		t.Fatal(err)
+	}
+	if loans := sys.LoanBuffersToElastic(); loans == 0 {
+		t.Fatal("no buffer servers loaned to the elastic reservation")
+	}
+	if _, err := sys.PlaceContainer(el, "batch-job", 1); err != nil {
+		t.Fatalf("elastic placement on borrowed server: %v", err)
+	}
+}
+
+func TestMSBFailureSurvival(t *testing.T) {
+	sys := testSystem(t)
+	region := sys.Region()
+	id, err := sys.CreateReservation(ras.Reservation{
+		Name: "svc", Class: ras.Web, RRUs: float64(len(region.Servers)) * 0.3,
+		CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Solve(0); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := sys.Reservations().Get(id)
+	// Fail every MSB in turn; the embedded buffer must cover each.
+	for msb := 0; msb < region.NumMSBs; msb++ {
+		sys.Health().FailMSB(msb, sim.Hour, sim.Hour)
+		usable := 0
+		for _, sid := range sys.Broker().ServersIn(id) {
+			if sys.Broker().State(sid).Unavail == 0 {
+				usable++
+			}
+		}
+		sys.Health().RecoverMSB(msb, 2*sim.Hour)
+		if float64(usable) < r.RRUs {
+			t.Fatalf("MSB %d failure leaves %d usable servers vs %.0f requested", msb, usable, r.RRUs)
+		}
+	}
+}
+
+func TestSolveLocalSearchBackend(t *testing.T) {
+	sys := testSystem(t)
+	id, err := sys.CreateReservation(ras.Reservation{
+		Name: "svc", Class: ras.Web, RRUs: 20, CountBased: true, Policy: ras.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.SolveLocalSearch(0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("local-search backend made no moves")
+	}
+	_, surviving, err := sys.GuaranteedRRUs(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surviving < 20 {
+		t.Fatalf("local-search backend broke the capacity guarantee: %.1f surviving", surviving)
+	}
+}
