@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Solver/backend benchmarks (ablations + backend comparison).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

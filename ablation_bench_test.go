@@ -7,9 +7,11 @@ package ras_test
 // assignvars/op, lpiters/op, and ns/op.
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"ras/internal/backend"
 	"ras/internal/broker"
 	"ras/internal/hardware"
 	"ras/internal/localsearch"
@@ -53,7 +55,7 @@ func runAblation(b *testing.B, cfg solver.Config) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := solver.Solve(solver.Input{Region: region, Reservations: rsvs, States: states}, cfg)
+		res, err := solver.Solve(context.Background(), solver.Input{Region: region, Reservations: rsvs, States: states}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,41 +110,45 @@ func BenchmarkAblationWarmStartOff(b *testing.B) {
 // the backend ReBalancer picks for RAS (§6): better placement quality,
 // minutes-scale budget in production.
 func BenchmarkBackendMIP(b *testing.B) {
-	region, rsvs, states := ablationWorkload(b)
-	cfg := solver.Config{
+	runBackendBench(b, "mip", backend.Config{Solver: solver.Config{
 		Phase1TimeLimit: 20 * time.Second, Phase2TimeLimit: 5 * time.Second,
 		MaxNodes: 100, SharedBufferFraction: -1,
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := solver.Solve(solver.Input{Region: region, Reservations: rsvs, States: states}, cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(res.Phase1.Objective, "objective")
-			b.ReportMetric(res.Phase1.SoftSlack, "softslack")
-		}
-	}
+	}})
 }
 
 // BenchmarkBackendLocalSearch solves the same workload with the local-search
 // backend — the one ReBalancer picks for near-realtime users like Shard
 // Manager (§6): seconds-scale, slightly worse placement quality.
 func BenchmarkBackendLocalSearch(b *testing.B) {
+	runBackendBench(b, "localsearch", backend.Config{
+		LocalSearch: localsearch.Config{TimeLimit: 2 * time.Second, Seed: 9},
+	})
+}
+
+// runBackendBench solves the ablation workload through the unified Backend
+// interface, so both backend benches exercise the exact code path production
+// callers use and report the common backend-independent metrics.
+func runBackendBench(b *testing.B, name string, cfg backend.Config) {
+	b.Helper()
 	region, rsvs, states := ablationWorkload(b)
-	cfg := localsearch.Config{TimeLimit: 2 * time.Second, Seed: 9}
+	be, err := backend.New(name, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := localsearch.Solve(solver.Input{Region: region, Reservations: rsvs, States: states}, cfg)
+		res, err := be.Solve(context.Background(),
+			solver.Input{Region: region, Reservations: rsvs, States: states}, backend.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
+		if res.Status == backend.StatusNoSolution {
+			b.Fatalf("backend %s: no solution", name)
+		}
 		if i == 0 {
 			b.ReportMetric(res.Objective, "objective")
-			b.ReportMetric(float64(res.Steps), "steps")
+			b.ReportMetric(float64(res.Moves.InUse+res.Moves.Unused), "moves")
 		}
 	}
 }

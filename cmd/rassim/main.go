@@ -10,12 +10,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"ras"
+	"ras/internal/backend"
 	"ras/internal/sim"
 	"ras/internal/workload"
 )
@@ -33,9 +38,16 @@ func main() {
 		failDay  = flag.Int("fail-day", 1, "virtual day of the correlated-failure drill")
 		quiet    = flag.Bool("q", false, "suppress the hourly log")
 		fillFrac = flag.Float64("fill", 0.7, "fraction of the region requested as capacity")
+		beName   = flag.String("backend", backend.DefaultName,
+			"solver backend for the hourly rounds ("+strings.Join(backend.Names(), ", ")+")")
 	)
 	flag.Parse()
 	logger := log.New(os.Stdout, "", 0)
+
+	// Ctrl-C cancels any in-flight solve; the round persists its incumbent
+	// and the simulation stops at the next event boundary.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	region, err := ras.NewRegion(ras.RegionSpec{
 		Name: "sim", DCs: *dcs, MSBsPerDC: *msbs,
@@ -44,7 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := ras.NewSystem(region, ras.Options{})
+	sys := ras.NewSystem(region, ras.Options{Backend: *beName})
 	logger.Printf("region: %d DCs, %d MSBs, %d racks, %d servers",
 		region.NumDCs, region.NumMSBs, region.NumRacks, len(region.Servers))
 
@@ -69,15 +81,23 @@ func main() {
 	engine := ras.NewEngine()
 	// Hourly continuous optimization (Figure 6 step 8).
 	engine.Every(sim.Hour, func(now sim.Time) {
-		res, err := sys.Solve(now)
+		if ctx.Err() != nil {
+			return // interrupted: stop solving, let the run wind down
+		}
+		res, err := sys.Solve(ctx, now)
 		if err != nil {
 			logger.Printf("[%s] solve failed: %v", clock(now), err)
 			return
 		}
 		if !*quiet {
-			logger.Printf("[%s] solve: %d assign vars, %v total, moves in-use=%d idle=%d, gap=%.1f preemptions",
-				clock(now), res.Phase1.AssignVars, res.TotalTime().Round(1e6),
-				res.Moves.InUse, res.Moves.Unused, res.Phase1.GapPreemptions)
+			line := fmt.Sprintf("[%s] solve[%s]: %s in %v, moves in-use=%d idle=%d",
+				clock(now), res.Backend, res.Status, res.Elapsed.Round(1e6),
+				res.Moves.InUse, res.Moves.Unused)
+			if res.MIP != nil {
+				line += fmt.Sprintf(", %d assign vars, gap=%.1f preemptions",
+					res.MIP.Phase1.AssignVars, res.MIP.Phase1.GapPreemptions)
+			}
+			logger.Print(line)
 		}
 	})
 	// Hourly health tick + maintenance every 6 hours.

@@ -7,6 +7,11 @@
 //
 //	rassolve -in region.json > assignment.json
 //	rassolve -synthetic -dcs 2 -msbs 3 -reservations 4 > assignment.json
+//	rassolve -synthetic -backend localsearch > assignment.json
+//
+// The -backend flag selects any registered solver backend (mip,
+// localsearch). SIGINT/SIGTERM cancel the solve cooperatively: the tool
+// still writes the best incumbent assignment found before the signal.
 //
 // Input schema (JSON):
 //
@@ -19,14 +24,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"ras"
+	"ras/internal/backend"
 	"ras/internal/broker"
 	"ras/internal/hardware"
 	"ras/internal/reservation"
@@ -48,8 +59,10 @@ type resDoc struct {
 }
 
 type outputDoc struct {
+	Backend    string           `json:"backend"`
+	Status     string           `json:"status"`
 	Servers    []serverOut      `json:"servers"`
-	Phase1     statsOut         `json:"phase1"`
+	Phase1     *statsOut        `json:"phase1,omitempty"`
 	Phase2     *statsOut        `json:"phase2,omitempty"`
 	Moves      solver.MoveStats `json:"moves"`
 	ByRes      map[string]int   `json:"serversPerReservation"`
@@ -65,12 +78,15 @@ type serverOut struct {
 }
 
 type statsOut struct {
-	AssignVars     int     `json:"assignVars"`
-	Groups         int     `json:"symmetryGroups"`
-	Status         string  `json:"status"`
-	GapPreemptions float64 `json:"gapPreemptions"`
-	SoftSlack      float64 `json:"softSlack"`
-	TotalSec       float64 `json:"totalSec"`
+	AssignVars int    `json:"assignVars"`
+	Groups     int    `json:"symmetryGroups"`
+	Status     string `json:"status"`
+	// GapPreemptions is omitted when no bound exists (solve cancelled
+	// before the root relaxation finished): the gap is +Inf, which JSON
+	// cannot represent.
+	GapPreemptions *float64 `json:"gapPreemptions,omitempty"`
+	SoftSlack      float64  `json:"softSlack"`
+	TotalSec       float64  `json:"totalSec"`
 }
 
 func classByName(name string) (hardware.Class, bool) {
@@ -89,7 +105,9 @@ func main() {
 		dcs       = flag.Int("dcs", 2, "synthetic: datacenters")
 		msbs      = flag.Int("msbs", 3, "synthetic: MSBs per DC")
 		nres      = flag.Int("reservations", 4, "synthetic: reservation count")
-		timeLimit = flag.Duration("time-limit", 10*time.Second, "phase-1 MIP time limit")
+		timeLimit = flag.Duration("time-limit", 10*time.Second, "solve time limit")
+		beName    = flag.String("backend", backend.DefaultName,
+			"solver backend ("+strings.Join(backend.Names(), ", ")+")")
 	)
 	flag.Parse()
 
@@ -142,24 +160,38 @@ func main() {
 		})
 	}
 
+	// SIGINT/SIGTERM cancel the solve; the backend returns its best
+	// incumbent, which is still written out below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	be, err := backend.New(*beName, backend.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	b := broker.New(region)
-	start := time.Now()
-	res, err := solver.Solve(solver.Input{
+	res, err := be.Solve(ctx, solver.Input{
 		Region: region, Reservations: rsvs, States: b.Snapshot(),
-	}, solver.Config{Phase1TimeLimit: *timeLimit, Phase2TimeLimit: *timeLimit / 2})
+	}, backend.Options{TimeLimit: *timeLimit})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	out := outputDoc{
+		Backend:    res.Backend,
+		Status:     res.Status.String(),
+		Servers:    []serverOut{},
 		ByRes:      map[string]int{},
-		ElapsedSec: time.Since(start).Seconds(),
+		ElapsedSec: res.Elapsed.Seconds(),
 		Moves:      res.Moves,
-		Phase1:     toStats(res.Phase1),
 	}
-	if res.RanPhase2 {
-		s := toStats(res.Phase2)
-		out.Phase2 = &s
+	if res.MIP != nil {
+		s := toStats(res.MIP.Phase1)
+		out.Phase1 = &s
+		if res.MIP.RanPhase2 {
+			s2 := toStats(res.MIP.Phase2)
+			out.Phase2 = &s2
+		}
 	}
 	nameOf := func(id reservation.ID) string {
 		switch {
@@ -191,12 +223,16 @@ func main() {
 }
 
 func toStats(p solver.PhaseStats) statsOut {
-	return statsOut{
-		AssignVars:     p.AssignVars,
-		Groups:         p.Groups,
-		Status:         p.Status.String(),
-		GapPreemptions: p.GapPreemptions,
-		SoftSlack:      p.SoftSlack,
-		TotalSec:       p.Total().Seconds(),
+	s := statsOut{
+		AssignVars: p.AssignVars,
+		Groups:     p.Groups,
+		Status:     p.Status.String(),
+		SoftSlack:  p.SoftSlack,
+		TotalSec:   p.Total().Seconds(),
 	}
+	if !math.IsInf(p.GapPreemptions, 0) && !math.IsNaN(p.GapPreemptions) {
+		g := p.GapPreemptions
+		s.GapPreemptions = &g
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package ras_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestEmergencyGrantDipsIntoBuffer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	bufBefore := len(sys.Broker().ServersIn(ras.SharedBuffer))
@@ -99,7 +100,7 @@ func TestEmergencyGrantCorrectedByNextSolve(t *testing.T) {
 	// The emergency grant ignored spread; the next solve must restore the
 	// single-MSB-loss guarantee (§5.4: "future solves will correct any
 	// placement guarantees that were broken").
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	_, surviving, err := sys.GuaranteedRRUs(id)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		log.Fatal(err)
 	}
 	bufServers := sys.Broker().ServersIn(ras.SharedBuffer)

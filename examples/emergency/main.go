@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		log.Fatal(err)
 	}
 	sys.LoanBuffersToElastic()
@@ -58,7 +59,7 @@ func main() {
 
 	// 03:00 — the hourly solve runs and repairs the placement guarantees
 	// the emergency path ignored.
-	if _, err := sys.Solve(sim.Hour); err != nil {
+	if _, err := sys.Solve(context.Background(), sim.Hour); err != nil {
 		log.Fatal(err)
 	}
 	_, surviving, _ = sys.GuaranteedRRUs(surge)

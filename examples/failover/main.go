@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 		ids = append(ids, id)
 	}
 
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		log.Fatal(err)
 	}
 	report := func(tag string) bool {
@@ -76,7 +77,7 @@ func main() {
 	// itself sit in a crowded MSB. The next hourly solve re-optimizes it
 	// (Figure 6 step 8), restoring the single-MSB-loss guarantee before the
 	// next correlated failure can stack on top.
-	if _, err := sys.Solve(90 * sim.Minute); err != nil {
+	if _, err := sys.Solve(context.Background(), 90*sim.Minute); err != nil {
 		log.Fatal(err)
 	}
 
@@ -93,7 +94,7 @@ func main() {
 
 	// Recovery and re-optimization.
 	sys.Health().RecoverMSB(msb, 14*sim.Hour)
-	if _, err := sys.Solve(15 * sim.Hour); err != nil {
+	if _, err := sys.Solve(context.Background(), 15*sim.Hour); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nafter recovery and the next hourly solve:")

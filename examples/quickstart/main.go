@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,12 +39,13 @@ func main() {
 	}
 
 	// One async-solver round: snapshot → two-phase MIP → targets → mover.
-	res, err := sys.Solve(0)
+	res, err := sys.Solve(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("solve: %d assignment variables over %d symmetry groups in %v (status %v)\n",
-		res.Phase1.AssignVars, res.Phase1.Groups, res.TotalTime().Round(1e6), res.Phase1.Status)
+	fmt.Printf("solve[%s]: %d assignment variables over %d symmetry groups in %v (status %v)\n",
+		res.Backend, res.MIP.Phase1.AssignVars, res.MIP.Phase1.Groups,
+		res.Elapsed.Round(1e6), res.Status)
 
 	// The capacity guarantee: requested RRUs survive the loss of ANY MSB.
 	total, surviving, err := sys.GuaranteedRRUs(webID)

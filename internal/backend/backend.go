@@ -1,0 +1,265 @@
+// Package backend defines the pluggable solver-backend seam of the RAS
+// continuous optimizer. The paper's ReBalancer (§6) is "a common
+// optimization library" that "can choose different backend solvers to solve
+// an optimization problem": RAS uses the two-phase MIP solver for placement
+// quality, while near-realtime users pick a local-search solver. This
+// package is that seam — one Backend interface, one common Result shape,
+// and a registry mapping backend names to constructors — so that every
+// production caller (the ras.System façade, the CLIs, the experiment
+// runners) selects a solver by name instead of hard-wiring a code path.
+//
+// The cancellation contract: Backend.Solve takes a context.Context that
+// bounds the entire solve. Cancellation propagates cooperatively down the
+// whole stack (branch-and-bound nodes, simplex iteration loops, local-search
+// steps); a cancelled solve is NOT an error — it returns promptly with the
+// best incumbent assignment found so far and Status StatusCancelled, so a
+// supervisor can always apply the most recent targets it has.
+package backend
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ras/internal/localsearch"
+	"ras/internal/mip"
+	"ras/internal/reservation"
+	"ras/internal/solver"
+)
+
+// Options are the backend-independent per-solve knobs. Backend-specific
+// tuning lives in Config and is fixed at construction time; Options varies
+// per call.
+type Options struct {
+	// TimeLimit bounds the whole solve. Zero keeps each backend's
+	// configured/default budget. A ctx deadline earlier than TimeLimit wins
+	// either way; Solve implementations derive their internal deadlines from
+	// the context.
+	TimeLimit time.Duration
+}
+
+// Backend is one interchangeable optimization engine producing a full
+// server-to-reservation assignment from a solve snapshot.
+type Backend interface {
+	// Name reports the registry name of the backend.
+	Name() string
+	// Solve runs one optimization round. It honours ctx per the package
+	// cancellation contract: cancellation returns the best incumbent with
+	// Status StatusCancelled rather than an error.
+	Solve(ctx context.Context, in solver.Input, opts Options) (*Result, error)
+}
+
+// Status classifies a backend solve outcome.
+type Status int8
+
+// Solve outcomes.
+const (
+	// StatusOptimal means the backend proved its assignment optimal within
+	// its tolerances.
+	StatusOptimal Status = iota
+	// StatusFeasible means a valid assignment exists but the search stopped
+	// on a time/step budget; Gap (when finite) quantifies the uncertainty.
+	StatusFeasible
+	// StatusCancelled means the context was cancelled mid-solve; Targets
+	// hold the best incumbent found before the stop.
+	StatusCancelled
+	// StatusNoSolution means the backend produced no usable assignment.
+	StatusNoSolution
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusCancelled:
+		return "cancelled"
+	case StatusNoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Result is the backend-independent outcome of one solve: the assignment
+// plus the quality statistics every backend can report. Backend-specific
+// detail (phase breakdowns, step counts) rides along in exactly one of the
+// typed detail fields.
+type Result struct {
+	// Backend is the name of the backend that produced the result.
+	Backend string
+	// Status classifies the outcome; StatusCancelled still carries targets.
+	Status Status
+	// Targets maps every server to its target reservation
+	// (reservation.Unassigned for the free pool, reservation.SharedBuffer
+	// for the shared random-failure buffer).
+	Targets []reservation.ID
+	// Moves counts the server moves the assignment implies (Figure 16).
+	Moves solver.MoveStats
+	// Objective is the backend's internal objective at Targets.
+	Objective float64
+	// Bound is the best proven lower bound on the optimum; -Inf when the
+	// backend proves none (local search never does).
+	Bound float64
+	// Gap is Objective − Bound (+Inf when no bound was proven).
+	Gap float64
+	// Elapsed is the solve wall-clock time.
+	Elapsed time.Duration
+
+	// MIP carries the two-phase solver detail; set iff the MIP backend ran.
+	MIP *solver.Result
+	// LocalSearch carries the search detail; set iff that backend ran.
+	LocalSearch *localsearch.Result
+}
+
+// Config carries the tuning for every registered backend; each factory
+// reads the part it understands, so one Config can construct any backend.
+type Config struct {
+	// Solver tunes the two-phase MIP backend.
+	Solver solver.Config
+	// LocalSearch tunes the local-search backend.
+	LocalSearch localsearch.Config
+}
+
+// Factory constructs a configured Backend.
+type Factory func(cfg Config) Backend
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// DefaultName is the backend the façade uses when none is selected: the
+// two-phase MIP, the solver RAS itself runs in production.
+const DefaultName = "mip"
+
+// Register installs a backend factory under name. Registering a duplicate
+// name panics: backend names are a flat global namespace and a silent
+// overwrite would reroute every caller of that name.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || f == nil {
+		panic("backend: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs the named backend from cfg. An empty name selects
+// DefaultName. Unknown names report the registered alternatives, a §5.3
+// operability courtesy.
+func New(name string, cfg Config) (Backend, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (registered: %v)", name, Names())
+	}
+	return f(cfg), nil
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("mip", func(cfg Config) Backend { return &mipBackend{cfg: cfg.Solver} })
+	Register("localsearch", func(cfg Config) Backend { return &localSearchBackend{cfg: cfg.LocalSearch} })
+}
+
+// mipBackend adapts the two-phase MIP solver (internal/solver) to the
+// Backend interface.
+type mipBackend struct {
+	cfg solver.Config
+}
+
+func (b *mipBackend) Name() string { return "mip" }
+
+func (b *mipBackend) Solve(ctx context.Context, in solver.Input, opts Options) (*Result, error) {
+	cfg := b.cfg
+	if opts.TimeLimit > 0 {
+		// Split the joint budget like production's one-hour SLO: most of it
+		// on the region-wide phase, the rest on rack refinement.
+		cfg.Phase1TimeLimit = opts.TimeLimit * 2 / 3
+		cfg.Phase2TimeLimit = opts.TimeLimit / 3
+	}
+	start := time.Now()
+	res, err := solver.Solve(ctx, in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Backend:   b.Name(),
+		Targets:   res.Targets,
+		Moves:     res.Moves,
+		Objective: res.Phase1.Objective,
+		Bound:     res.Phase1.Bound,
+		Gap:       res.Phase1.Objective - res.Phase1.Bound,
+		Elapsed:   time.Since(start),
+		MIP:       res,
+	}
+	switch {
+	case res.Cancelled || res.Phase1.Status == mip.Cancelled:
+		out.Status = StatusCancelled
+	case res.Phase1.Status == mip.Optimal:
+		out.Status = StatusOptimal
+	case res.Phase1.Status == mip.Feasible:
+		out.Status = StatusFeasible
+	default:
+		out.Status = StatusNoSolution
+		out.Bound = math.Inf(-1)
+		out.Gap = math.Inf(1)
+	}
+	return out, nil
+}
+
+// localSearchBackend adapts the hill-climbing solver (internal/localsearch)
+// to the Backend interface.
+type localSearchBackend struct {
+	cfg localsearch.Config
+}
+
+func (b *localSearchBackend) Name() string { return "localsearch" }
+
+func (b *localSearchBackend) Solve(ctx context.Context, in solver.Input, opts Options) (*Result, error) {
+	cfg := b.cfg
+	if opts.TimeLimit > 0 {
+		cfg.TimeLimit = opts.TimeLimit
+	}
+	res, err := localsearch.Solve(ctx, in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Backend:     b.Name(),
+		Status:      StatusFeasible, // hill climbing proves no bound
+		Targets:     res.Targets,
+		Moves:       res.Moves,
+		Objective:   res.Objective,
+		Bound:       math.Inf(-1),
+		Gap:         math.Inf(1),
+		Elapsed:     res.Elapsed,
+		LocalSearch: res,
+	}
+	if res.Cancelled {
+		out.Status = StatusCancelled
+	}
+	return out, nil
+}

@@ -10,10 +10,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"ras/internal/backend"
 	"ras/internal/broker"
 	"ras/internal/hardware"
 	"ras/internal/metrics"
@@ -284,11 +286,13 @@ func waterfillMax(caps []float64, demand float64) float64 {
 	return level
 }
 
-// applySolve runs the solver on the current broker state and applies the
-// targets directly (experiment-local; the full System path is exercised by
-// the end-to-end simulations).
+// applySolve runs the MIP backend (via the backend registry, like every
+// production caller) on the current broker state and applies the targets
+// directly (experiment-local; the full System path is exercised by the
+// end-to-end simulations).
 func applySolve(region *topology.Region, b *broker.Broker, rsvs []reservation.Reservation, cfg solver.Config) (*solver.Result, error) {
-	res, err := solver.Solve(solver.Input{Region: region, Reservations: rsvs, States: b.Snapshot()}, cfg)
+	res, err := solveBackend(context.Background(), "mip",
+		solver.Input{Region: region, Reservations: rsvs, States: b.Snapshot()}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +303,18 @@ func applySolve(region *topology.Region, b *broker.Broker, rsvs []reservation.Re
 			b.SetCurrent(id, tgt)
 		}
 	}
-	return res, nil
+	return res.MIP, nil
+}
+
+// solveBackend resolves a backend by name and runs one solve — the single
+// entry point every experiment uses, so figure code never hard-wires a
+// solver package.
+func solveBackend(ctx context.Context, name string, in solver.Input, cfg solver.Config) (*backend.Result, error) {
+	be, err := backend.New(name, backend.Config{Solver: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return be.Solve(ctx, in, backend.Options{})
 }
 
 // assignOf snapshots current reservation bindings as a slice.

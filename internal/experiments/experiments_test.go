@@ -21,7 +21,14 @@ func TestAllExperimentsSmall(t *testing.T) {
 			}
 			t.Logf("\n%s", rep)
 			if !rep.ShapeHolds {
-				t.Errorf("%s: paper shape did not reproduce:\n%s", e.ID, rep)
+				if raceEnabled {
+					// The race detector slows solves ~10x, so time-limited
+					// runs legitimately produce worse shapes; -race builds
+					// are for data-race coverage, not quality regression.
+					t.Logf("%s: shape divergence ignored under -race:\n%s", e.ID, rep)
+				} else {
+					t.Errorf("%s: paper shape did not reproduce:\n%s", e.ID, rep)
+				}
 			}
 			if len(rep.Measured) == 0 {
 				t.Errorf("%s: no measured rows", e.ID)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -85,7 +86,8 @@ func Fig16(scale Scale) (*Report, error) {
 		}
 		b.ExpireUnavailability(now)
 
-		res, err := solver.Solve(solver.Input{Region: region, Reservations: rsvs, States: b.Snapshot()}, cfg)
+		res, err := solveBackend(context.Background(), "mip",
+			solver.Input{Region: region, Reservations: rsvs, States: b.Snapshot()}, cfg)
 		if err != nil {
 			return
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -90,7 +91,8 @@ func Fig12(scale Scale) (*Report, error) {
 				states[i].Unavail = broker.RandomFailure // mask from this solve
 			}
 		}
-		res, err := solver.Solve(solver.Input{Region: region, Reservations: enabled, States: states}, cfg)
+		res, err := solveBackend(context.Background(), "mip",
+			solver.Input{Region: region, Reservations: enabled, States: states}, cfg)
 		if err != nil {
 			return nil, err
 		}

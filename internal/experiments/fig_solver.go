@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -242,15 +243,16 @@ func runScaleSweep(scale Scale) ([]scalePoint, error) {
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
-		res, err := solver.Solve(solver.Input{Region: region, Reservations: rsvs, States: b.Snapshot()}, cfg)
+		res, err := solveBackend(context.Background(), "mip",
+			solver.Input{Region: region, Reservations: rsvs, States: b.Snapshot()}, cfg)
 		if err != nil {
 			return nil, err
 		}
 		runtime.ReadMemStats(&after)
 		mem := after.TotalAlloc - before.TotalAlloc
 		points = append(points, scalePoint{
-			assignVars: res.Phase1.AssignVars,
-			setup:      res.Phase1.RASBuild + res.Phase1.SolverBuild + res.Phase1.InitialState,
+			assignVars: res.MIP.Phase1.AssignVars,
+			setup:      res.MIP.Phase1.RASBuild + res.MIP.Phase1.SolverBuild + res.MIP.Phase1.InitialState,
 			memBytes:   mem,
 		})
 	}

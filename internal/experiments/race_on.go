@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race detector.
+// Its ~10x slowdown makes time-limited solver quality unrepresentative, so
+// quality-shape assertions are advisory under -race (data-race coverage is
+// the point of that build).
+const raceEnabled = true

@@ -15,6 +15,7 @@
 package localsearch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -92,6 +93,10 @@ type Result struct {
 	// Elapsed is the search wall-clock time.
 	Elapsed time.Duration
 	Moves   solver.MoveStats
+	// Cancelled reports that the solve context was cancelled before the
+	// search converged or exhausted its budget; Targets hold the best
+	// assignment reached (every accepted move only ever improved it).
+	Cancelled bool
 }
 
 // state is the incremental evaluation state.
@@ -114,7 +119,15 @@ type state struct {
 }
 
 // Solve runs the local search and returns the assignment.
-func Solve(in solver.Input, cfg Config) (*Result, error) {
+//
+// ctx bounds the search together with Config.TimeLimit: the context is
+// polled between steps (and during seeding), so cancellation aborts within
+// one candidate-sampling round and returns the best assignment found, with
+// Result.Cancelled set. A cancelled search is not an error.
+func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if in.Region == nil {
 		return nil, fmt.Errorf("localsearch: nil region")
 	}
@@ -132,11 +145,14 @@ func Solve(in solver.Input, cfg Config) (*Result, error) {
 	// the plateau where a short reservation's only eligible free servers
 	// sit in its own most-loaded MSB, so fill shortfalls upfront by always
 	// acquiring into the least-loaded eligible MSB.
-	res.Steps += s.waterfillSeed()
+	res.Steps += s.waterfillSeed(ctx)
 
 	deadline := start.Add(cfg.TimeLimit)
 	nServers := len(in.Region.Servers)
 	for res.Steps < cfg.MaxSteps {
+		if ctx.Err() != nil {
+			break
+		}
 		if time.Now().After(deadline) {
 			break
 		}
@@ -194,6 +210,9 @@ func Solve(in solver.Input, cfg Config) (*Result, error) {
 	res.Targets = append([]reservation.ID(nil), s.assign...)
 	res.Objective = s.objective()
 	res.Elapsed = time.Since(start)
+	// Explicit cancellation only: a ctx deadline expiring is a time budget
+	// running out, indistinguishable from Config.TimeLimit (Feasible).
+	res.Cancelled = ctx.Err() == context.Canceled
 	for i := range in.States {
 		st := &in.States[i]
 		if st.Current == res.Targets[i] || st.Current == reservation.Unassigned || !s.usable[i] {
@@ -264,7 +283,8 @@ func newState(in solver.Input, cfg Config) *state {
 // waterfillSeed acquires free servers for every reservation whose
 // buffer-adjusted capacity is short, always into the least-loaded MSB with
 // eligible free servers, until the shortfall closes or the pool runs dry.
-func (s *state) waterfillSeed() (acquired int) {
+// Cancelling ctx stops seeding between acquisitions.
+func (s *state) waterfillSeed(ctx context.Context) (acquired int) {
 	// Free eligible servers per (reservation, MSB).
 	freeByMSB := make([][]topology.ServerID, s.region.NumMSBs)
 	for i := range s.assign {
@@ -276,6 +296,9 @@ func (s *state) waterfillSeed() (acquired int) {
 	for ri := range s.rsvs {
 		r := &s.rsvs[ri]
 		for guard := 0; guard < len(s.assign); guard++ {
+			if acquired&63 == 0 && ctx.Err() != nil {
+				return acquired
+			}
 			maxMSB := 0.0
 			for _, v := range s.loadMSB[ri] {
 				if v > maxMSB {

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -12,7 +13,7 @@ import (
 func TestWarmAfterFixAll(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	p, _ := buildRandomFeasible(rng, 15, 8)
-	first := p.Solve(Options{})
+	first := p.Solve(context.Background(), Options{})
 	if first.Status != Optimal || first.Basis == nil {
 		t.Skip("no basis")
 	}
@@ -23,8 +24,8 @@ func TestWarmAfterFixAll(t *testing.T) {
 		v := math.Max(lo, math.Min(up, math.Round(first.X[j])))
 		p.SetBounds(j, v, v)
 	}
-	warm := p.Solve(Options{Start: first.Basis})
-	cold := p.Solve(Options{})
+	warm := p.Solve(context.Background(), Options{Start: first.Basis})
+	cold := p.Solve(context.Background(), Options{})
 	if warm.Status != cold.Status {
 		t.Fatalf("warm=%v cold=%v after fixing all variables", warm.Status, cold.Status)
 	}
@@ -42,7 +43,7 @@ func TestWarmAfterFixAll(t *testing.T) {
 func TestWarmChainStaysConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	p, _ := buildRandomFeasible(rng, 20, 12)
-	sol := p.Solve(Options{})
+	sol := p.Solve(context.Background(), Options{})
 	if sol.Status != Optimal {
 		t.Skip("base not optimal")
 	}
@@ -59,8 +60,8 @@ func TestWarmChainStaysConsistent(t *testing.T) {
 		case 2:
 			p.SetBounds(j, lo, up+1)
 		}
-		warm := p.Solve(Options{Start: basis})
-		cold := p.Solve(Options{})
+		warm := p.Solve(context.Background(), Options{Start: basis})
+		cold := p.Solve(context.Background(), Options{})
 		if warm.Status != cold.Status {
 			t.Fatalf("step %d: warm=%v cold=%v", step, warm.Status, cold.Status)
 		}
@@ -84,13 +85,13 @@ func TestWarmChainStaysConsistent(t *testing.T) {
 func TestWarmStaleBasisRejected(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	p1, _ := buildRandomFeasible(rng, 10, 5)
-	sol1 := p1.Solve(Options{})
+	sol1 := p1.Solve(context.Background(), Options{})
 	if sol1.Basis == nil {
 		t.Skip("no basis")
 	}
 	p2, _ := buildRandomFeasible(rng, 14, 7) // different shape
-	sol2 := p2.Solve(Options{Start: sol1.Basis})
-	cold := p2.Solve(Options{})
+	sol2 := p2.Solve(context.Background(), Options{Start: sol1.Basis})
+	cold := p2.Solve(context.Background(), Options{})
 	if sol2.Status != cold.Status {
 		t.Fatalf("foreign basis changed status: %v vs %v", sol2.Status, cold.Status)
 	}
@@ -105,12 +106,12 @@ func TestQuickWarmNeverWorseIters(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p, _ := buildRandomFeasible(rng, 4+rng.Intn(10), 2+rng.Intn(6))
-		first := p.Solve(Options{})
+		first := p.Solve(context.Background(), Options{})
 		if first.Status != Optimal || first.Basis == nil {
 			return true
 		}
 		// Unchanged problem: warm solve should be nearly free.
-		warm := p.Solve(Options{Start: first.Basis})
+		warm := p.Solve(context.Background(), Options{Start: first.Basis})
 		return warm.Status == Optimal && warm.Iterations <= first.Iterations+2
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {

@@ -20,6 +20,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -145,6 +146,7 @@ const (
 	Infeasible               // no point satisfies all constraints and bounds
 	Unbounded                // the objective decreases without bound
 	IterLimit                // the iteration limit was hit before convergence
+	Cancelled                // the context was cancelled mid-solve
 )
 
 func (s Status) String() string {
@@ -157,6 +159,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case Cancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
@@ -207,29 +211,37 @@ var ErrMalformed = errors.New("lp: malformed problem")
 // Solve minimizes the problem's objective and returns the solution. The
 // problem itself is not modified and may be solved repeatedly, including
 // after further rows or variables are added.
-func (p *Problem) Solve(opt Options) Solution {
+//
+// Cancelling ctx aborts the simplex iteration loops promptly; the returned
+// Solution then has Status Cancelled and carries whatever (possibly
+// infeasible) point the solver held when it stopped.
+func (p *Problem) Solve(ctx context.Context, opt Options) Solution {
 	if opt.Tol == 0 {
 		opt.Tol = 1e-9
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.Start != nil {
-		s := newSimplex(p, opt)
+		s := newSimplex(ctx, p, opt)
 		if sol, ok := s.runWarm(opt.Start); ok {
 			return sol
 		}
 		// Unusable basis: cold-start, keeping the wasted iteration count.
 		warmIters := s.iters
-		s = newSimplex(p, opt)
+		s = newSimplex(ctx, p, opt)
 		sol := s.run()
 		sol.Iterations += warmIters
 		return sol
 	}
-	s := newSimplex(p, opt)
+	s := newSimplex(ctx, p, opt)
 	return s.run()
 }
 
 // simplex is the working state of a revised-simplex solve. Variables are
 // indexed 0..n-1 structural, n..n+m-1 slack/artificial.
 type simplex struct {
+	ctx    context.Context
 	opt    Options
 	diters int
 
@@ -258,11 +270,11 @@ type simplex struct {
 	iters int
 }
 
-func newSimplex(p *Problem, opt Options) *simplex {
+func newSimplex(ctx context.Context, p *Problem, opt Options) *simplex {
 	m := len(p.rows)
 	nStruct := len(p.cost)
 
-	s := &simplex{opt: opt, m: m, nStruct: nStruct}
+	s := &simplex{ctx: ctx, opt: opt, m: m, nStruct: nStruct}
 
 	// Structural columns.
 	cols := make([][]Nonzero, nStruct, nStruct+2*m)
@@ -393,8 +405,8 @@ func (s *simplex) run() Solution {
 			phase1[s.artStart+i] = 1
 		}
 		st := s.optimize(phase1, s.artStart)
-		if st == IterLimit {
-			return Solution{Status: IterLimit, X: s.structX(), Iterations: s.iters}
+		if st == IterLimit || st == Cancelled {
+			return Solution{Status: st, X: s.structX(), Iterations: s.iters}
 		}
 		infeas := 0.0
 		for i := 0; i < m; i++ {
@@ -521,6 +533,10 @@ func (s *simplex) runWarm(start *Basis) (Solution, bool) {
 		return Solution{}, false
 	case IterLimit:
 		return Solution{}, false
+	case Cancelled:
+		// Do NOT fall back to a cold start: the point of cancellation is to
+		// stop working, so report it from the warm path directly.
+		return s.finish(Cancelled), true
 	}
 	// Primal feasible now; polish with primal iterations (usually zero).
 	st := s.optimize(s.cost, s.n)
@@ -602,6 +618,9 @@ func (s *simplex) dualSimplex(cost []float64) Status {
 	for {
 		if s.iters >= s.opt.MaxIter {
 			return IterLimit
+		}
+		if s.cancelled() {
+			return Cancelled
 		}
 
 		// Leaving row: largest bound violation among basic variables.
@@ -713,6 +732,12 @@ func (s *simplex) dualSimplex(cost []float64) Status {
 
 func (s *simplex) feasTol() float64 { return s.opt.Tol * float64(1+s.m) * 100 }
 
+// cancelled polls the solve context every few iterations. The check runs
+// once per simplex pivot, whose own cost (an O(m·n) pricing pass) dwarfs the
+// atomic load inside ctx.Err, so polling every iteration keeps cancellation
+// latency at a single pivot without measurable overhead.
+func (s *simplex) cancelled() bool { return s.ctx.Err() != nil }
+
 func (s *simplex) structX() []float64 {
 	out := make([]float64, s.nStruct)
 	copy(out, s.x[:s.nStruct])
@@ -735,6 +760,9 @@ func (s *simplex) optimize(cost []float64, priceLimit int) Status {
 	for {
 		if s.iters >= s.opt.MaxIter {
 			return IterLimit
+		}
+		if s.cancelled() {
+			return Cancelled
 		}
 		s.iters++
 

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,7 +14,7 @@ func approx(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math
 
 func solveOK(t *testing.T, p *Problem) Solution {
 	t.Helper()
-	sol := p.Solve(Options{})
+	sol := p.Solve(context.Background(), Options{})
 	if sol.Status != Optimal {
 		t.Fatalf("status = %v, want optimal", sol.Status)
 	}
@@ -82,7 +83,7 @@ func TestInfeasible(t *testing.T) {
 	var p Problem
 	x := p.AddVar(1, 0, 1)
 	p.AddRow([]Nonzero{{x, 1}}, GE, 5)
-	sol := p.Solve(Options{})
+	sol := p.Solve(context.Background(), Options{})
 	if sol.Status != Infeasible {
 		t.Fatalf("status=%v, want infeasible", sol.Status)
 	}
@@ -94,7 +95,7 @@ func TestInfeasibleEquality(t *testing.T) {
 	y := p.AddVar(0, 0, 10)
 	p.AddRow([]Nonzero{{x, 1}, {y, 1}}, EQ, 5)
 	p.AddRow([]Nonzero{{x, 1}, {y, 1}}, EQ, 7)
-	sol := p.Solve(Options{})
+	sol := p.Solve(context.Background(), Options{})
 	if sol.Status != Infeasible {
 		t.Fatalf("status=%v, want infeasible", sol.Status)
 	}
@@ -103,7 +104,7 @@ func TestInfeasibleEquality(t *testing.T) {
 func TestUnbounded(t *testing.T) {
 	var p Problem
 	p.AddVar(-1, 0, Inf) // maximize x with no constraint
-	sol := p.Solve(Options{})
+	sol := p.Solve(context.Background(), Options{})
 	if sol.Status != Unbounded {
 		t.Fatalf("status=%v, want unbounded", sol.Status)
 	}
@@ -237,7 +238,7 @@ func TestIterLimit(t *testing.T) {
 	x := p.AddVar(-1, 0, Inf)
 	y := p.AddVar(-1, 0, Inf)
 	p.AddRow([]Nonzero{{x, 1}, {y, 1}}, LE, 10)
-	sol := p.Solve(Options{MaxIter: 1})
+	sol := p.Solve(context.Background(), Options{MaxIter: 1})
 	if sol.Status != IterLimit && sol.Status != Optimal {
 		t.Fatalf("status=%v, want iteration-limit or optimal", sol.Status)
 	}
@@ -316,7 +317,7 @@ func TestQuickRandomFeasible(t *testing.T) {
 		nVars := 2 + rng.Intn(12)
 		nRows := 1 + rng.Intn(10)
 		p, point := buildRandomFeasible(rng, nVars, nRows)
-		sol := p.Solve(Options{})
+		sol := p.Solve(context.Background(), Options{})
 		if sol.Status != Optimal {
 			t.Logf("seed %d: status %v", seed, sol.Status)
 			return false
@@ -348,7 +349,7 @@ func TestQuickScaleInvariance(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p, _ := buildRandomFeasible(rng, 2+rng.Intn(8), 1+rng.Intn(6))
-		sol1 := p.Solve(Options{})
+		sol1 := p.Solve(context.Background(), Options{})
 		if sol1.Status != Optimal {
 			return true // skip unbounded/degenerate cases here
 		}
@@ -359,7 +360,7 @@ func TestQuickScaleInvariance(t *testing.T) {
 		for i := range p.rows {
 			p2.AddRow(p.rows[i], p.senses[i], p.rhs[i])
 		}
-		sol2 := p2.Solve(Options{})
+		sol2 := p2.Solve(context.Background(), Options{})
 		if sol2.Status != Optimal {
 			return false
 		}
@@ -376,7 +377,7 @@ func TestMediumScale(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(7))
 	p, point := buildRandomFeasible(rng, 200, 80)
-	sol := p.Solve(Options{})
+	sol := p.Solve(context.Background(), Options{})
 	if sol.Status != Optimal {
 		t.Fatalf("status=%v", sol.Status)
 	}
@@ -440,7 +441,7 @@ func BenchmarkSolveTransportation(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if sol := p.Solve(Options{}); sol.Status != Optimal {
+		if sol := p.Solve(context.Background(), Options{}); sol.Status != Optimal {
 			b.Fatalf("status=%v", sol.Status)
 		}
 	}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,7 +14,7 @@ func TestQuickWarmMatchesCold(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p, _ := buildRandomFeasible(rng, 3+rng.Intn(10), 1+rng.Intn(8))
-		first := p.Solve(Options{})
+		first := p.Solve(context.Background(), Options{})
 		if first.Status != Optimal || first.Basis == nil {
 			return true // nothing to warm-start from
 		}
@@ -33,8 +34,8 @@ func TestQuickWarmMatchesCold(t *testing.T) {
 				}
 			}
 		}
-		warm := p.Solve(Options{Start: first.Basis})
-		cold := p.Solve(Options{})
+		warm := p.Solve(context.Background(), Options{Start: first.Basis})
+		cold := p.Solve(context.Background(), Options{})
 		if warm.Status != cold.Status {
 			t.Logf("seed %d: warm=%v cold=%v", seed, warm.Status, cold.Status)
 			return false
@@ -61,11 +62,11 @@ func TestQuickWarmMatchesCold(t *testing.T) {
 func TestWarmNoChange(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	p, _ := buildRandomFeasible(rng, 20, 10)
-	first := p.Solve(Options{})
+	first := p.Solve(context.Background(), Options{})
 	if first.Status != Optimal || first.Basis == nil {
 		t.Skip("no exportable basis")
 	}
-	warm := p.Solve(Options{Start: first.Basis})
+	warm := p.Solve(context.Background(), Options{Start: first.Basis})
 	if warm.Status != Optimal {
 		t.Fatalf("warm status=%v", warm.Status)
 	}

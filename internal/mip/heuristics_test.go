@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func TestMarkPenaltyExposesViolation(t *testing.T) {
 		return m, x, s
 	}
 	m, x, s := build(true)
-	r := m.Solve(Options{MaxNodes: 10})
+	r := m.Solve(context.Background(), Options{MaxNodes: 10})
 	if r.Status != Optimal && r.Status != Feasible {
 		t.Fatalf("status %v", r.Status)
 	}
@@ -45,7 +46,7 @@ func TestWarmAnchorKeepsInitial(t *testing.T) {
 	// land on bounds; the initial point marks the incumbent split.
 	m.AddConstr("sum", []Term{{a, 1}, {b, 1}}, EQ, 9)
 	m.SetInitial([]float64{4, 5})
-	r := m.Solve(Options{})
+	r := m.Solve(context.Background(), Options{})
 	if r.Status != Optimal {
 		t.Fatalf("status %v", r.Status)
 	}
@@ -66,7 +67,7 @@ func TestDiveRollback(t *testing.T) {
 	// A tight two-sided window forces careful rounding: sum in [5.4, 6.4].
 	m.AddConstr("win-hi", terms, LE, 6.4)
 	m.AddConstr("win-lo", terms, GE, 5.4)
-	r := m.Solve(Options{MaxNodes: 50})
+	r := m.Solve(context.Background(), Options{MaxNodes: 50})
 	if r.Status != Optimal && r.Status != Feasible {
 		t.Fatalf("status %v", r.Status)
 	}
@@ -90,7 +91,7 @@ func TestTimeLimitRespected(t *testing.T) {
 	}
 	m.AddConstr("cap", terms, LE, 50)
 	start := time.Now()
-	r := m.Solve(Options{TimeLimit: 50 * time.Millisecond})
+	r := m.Solve(context.Background(), Options{TimeLimit: 50 * time.Millisecond})
 	if e := time.Since(start); e > 2*time.Second {
 		t.Fatalf("solve ran %v past a 50ms limit", e)
 	}
@@ -111,7 +112,7 @@ func TestGapReporting(t *testing.T) {
 		terms = append(terms, Term{v, 1 + float64(i%3)*0.61})
 	}
 	m.AddConstr("w", terms, LE, 11.5)
-	r := m.Solve(Options{MaxNodes: 3})
+	r := m.Solve(context.Background(), Options{MaxNodes: 3})
 	if r.Status == Optimal || r.Status == Feasible {
 		if r.Bound > r.Objective+1e-9 {
 			t.Fatalf("bound %v above objective %v", r.Bound, r.Objective)
@@ -138,7 +139,7 @@ func TestEnvelopeWithCapacity(t *testing.T) {
 	z := m.AddUpperEnvelope("z", groups, 3)
 	cap := append(append([]Term{}, total...), Term{z, -1})
 	m.AddConstr("cap", cap, GE, 10)
-	r := m.Solve(Options{MaxNodes: 200})
+	r := m.Solve(context.Background(), Options{MaxNodes: 200})
 	if r.Status != Optimal && r.Status != Feasible {
 		t.Fatalf("status %v", r.Status)
 	}
@@ -164,11 +165,11 @@ func TestBoundsRestoredAfterSolve(t *testing.T) {
 	m := NewModel()
 	x := m.AddIntVar("x", -1, 0, 9)
 	m.AddConstr("c", []Term{{x, 1}}, LE, 9)
-	r1 := m.Solve(Options{})
+	r1 := m.Solve(context.Background(), Options{})
 	if r1.X[x] != 9 {
 		t.Fatalf("first solve x=%v", r1.X[x])
 	}
-	r2 := m.Solve(Options{})
+	r2 := m.Solve(context.Background(), Options{})
 	if r2.X[x] != 9 {
 		t.Fatalf("bounds leaked across solves: x=%v", r2.X[x])
 	}

@@ -18,6 +18,7 @@
 package mip
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -244,6 +245,12 @@ const (
 	Unbounded
 	// NoSolution means the search stopped before finding any incumbent.
 	NoSolution
+	// Cancelled means the solve context was cancelled mid-search while an
+	// incumbent existed: X, Objective, Bound, and Gap are all valid, exactly
+	// as for Feasible, but the stop was externally requested rather than a
+	// time or node limit. Cancellation without an incumbent reports
+	// NoSolution instead.
+	Cancelled
 )
 
 func (s Status) String() string {
@@ -258,6 +265,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case NoSolution:
 		return "no-solution"
+	case Cancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
@@ -322,8 +331,17 @@ type boundChange struct {
 
 // Solve minimizes the model and returns the result. The model may be solved
 // repeatedly and modified between solves.
-func (m *Model) Solve(opt Options) Result {
+//
+// Cancelling ctx aborts the search cooperatively: the context is polled at
+// every branch-and-bound node and inside every LP's simplex loop, and the
+// best incumbent found so far is returned with Status Cancelled (NoSolution
+// when no incumbent exists yet). A ctx deadline and Options.TimeLimit
+// compose; whichever expires first stops the search.
+func (m *Model) Solve(ctx context.Context, opt Options) Result {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.IntTol == 0 {
 		opt.IntTol = 1e-6
 	}
@@ -365,7 +383,7 @@ func (m *Model) Solve(opt Options) Result {
 		if noWarm || forceCold || opt.NoWarmStart {
 			o.Start = nil
 		}
-		sol := m.prob.Solve(o)
+		sol := m.prob.Solve(ctx, o)
 		res.LPSolves++
 		res.LPIters += sol.Iterations
 		res.LPDualIters += sol.DualIters
@@ -391,8 +409,20 @@ func (m *Model) Solve(opt Options) Result {
 		deadline = start.Add(opt.TimeLimit)
 	}
 	timedOut := false
+	cancelled := false
 	expired := func() bool {
-		if timedOut {
+		if timedOut || cancelled {
+			return true
+		}
+		// A context deadline is a time budget like Options.TimeLimit and
+		// reports Feasible; only an explicit cancellation reports Cancelled.
+		switch ctx.Err() {
+		case nil:
+		case context.DeadlineExceeded:
+			timedOut = true
+			return true
+		default:
+			cancelled = true
 			return true
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
@@ -812,12 +842,15 @@ func (m *Model) Solve(opt Options) Result {
 	case lp.Unbounded:
 		res.Status = Unbounded
 		return res
-	case lp.IterLimit:
+	case lp.IterLimit, lp.Cancelled:
 		if incumbent == nil {
 			res.Status = NoSolution
 			return res
 		}
 		res.Status = Feasible
+		if rootSol.Status == lp.Cancelled && ctx.Err() != context.DeadlineExceeded {
+			res.Status = Cancelled
+		}
 		res.Objective = incObj + m.objOffset
 		res.Bound = math.Inf(-1)
 		res.X = incumbent
@@ -906,6 +939,12 @@ func (m *Model) Solve(opt Options) Result {
 
 		sol := solveLP()
 		res.Nodes++
+		if sol.Status == lp.Cancelled {
+			// Put the node back so the final bound still accounts for its
+			// unexplored subtree; the loop exits via expired() above.
+			open = append(open, nd)
+			continue
+		}
 		if sol.Status == lp.Infeasible || sol.Status == lp.IterLimit {
 			continue
 		}
@@ -990,7 +1029,7 @@ func (m *Model) Solve(opt Options) Result {
 
 	res.Bound = math.Min(bestBound(), incObj)
 	if incumbent == nil {
-		if len(open) == 0 && !timedOut && res.Nodes < opt.MaxNodes {
+		if len(open) == 0 && !timedOut && !cancelled && res.Nodes < opt.MaxNodes {
 			res.Status = Infeasible
 		} else {
 			res.Status = NoSolution
@@ -1007,6 +1046,8 @@ func (m *Model) Solve(opt Options) Result {
 		if len(open) == 0 {
 			res.Bound = res.Objective
 		}
+	} else if cancelled {
+		res.Status = Cancelled
 	} else {
 		res.Status = Feasible
 	}

@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ func approx(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math
 
 func solveOpt(t *testing.T, m *Model) Result {
 	t.Helper()
-	r := m.Solve(Options{})
+	r := m.Solve(context.Background(), Options{})
 	if r.Status != Optimal {
 		t.Fatalf("status=%v, want optimal (obj=%v bound=%v nodes=%d)", r.Status, r.Objective, r.Bound, r.Nodes)
 	}
@@ -89,7 +90,7 @@ func TestInfeasibleMIP(t *testing.T) {
 	m := NewModel()
 	x := m.AddBinVar("x", 1)
 	m.AddConstr("c", []Term{{x, 1}}, GE, 2)
-	r := m.Solve(Options{})
+	r := m.Solve(context.Background(), Options{})
 	if r.Status != Infeasible {
 		t.Fatalf("status=%v, want infeasible", r.Status)
 	}
@@ -103,7 +104,7 @@ func TestIntegerInfeasibleButLPFeasible(t *testing.T) {
 	m := NewModel()
 	x := m.AddIntVar("x", 0, 0, 1)
 	m.AddConstr("c", []Term{{x, 2}}, EQ, 1)
-	r := m.Solve(Options{})
+	r := m.Solve(context.Background(), Options{})
 	if r.Status != Infeasible {
 		t.Fatalf("status=%v, want infeasible", r.Status)
 	}
@@ -112,7 +113,7 @@ func TestIntegerInfeasibleButLPFeasible(t *testing.T) {
 func TestUnboundedMIP(t *testing.T) {
 	m := NewModel()
 	m.AddIntVar("x", -1, 0, Inf)
-	r := m.Solve(Options{})
+	r := m.Solve(context.Background(), Options{})
 	if r.Status != Unbounded {
 		t.Fatalf("status=%v, want unbounded", r.Status)
 	}
@@ -193,7 +194,7 @@ func TestWarmStartInfeasibleIgnored(t *testing.T) {
 func TestTimeLimitReportsFeasibleOrOptimal(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	m, _ := randomAssignment(rng, 12, 6)
-	r := m.Solve(Options{TimeLimit: time.Millisecond})
+	r := m.Solve(context.Background(), Options{TimeLimit: time.Millisecond})
 	switch r.Status {
 	case Optimal, Feasible, NoSolution:
 	default:
@@ -204,7 +205,7 @@ func TestTimeLimitReportsFeasibleOrOptimal(t *testing.T) {
 func TestNodeLimit(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	m, _ := randomAssignment(rng, 10, 5)
-	r := m.Solve(Options{MaxNodes: 1})
+	r := m.Solve(context.Background(), Options{MaxNodes: 1})
 	if r.Nodes > 1 {
 		t.Fatalf("explored %d nodes with MaxNodes=1", r.Nodes)
 	}
@@ -321,7 +322,7 @@ func TestQuickAssignment(t *testing.T) {
 				return true // capacity too small for greedy; skip
 			}
 		}
-		r := m.Solve(Options{MaxNodes: 5000})
+		r := m.Solve(context.Background(), Options{MaxNodes: 5000})
 		if r.Status != Optimal && r.Status != Feasible {
 			t.Logf("seed %d: status %v", seed, r.Status)
 			return false
@@ -351,7 +352,7 @@ func TestQuickBoundSandwich(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m, _ := randomAssignment(rng, 3+rng.Intn(5), 2+rng.Intn(3))
-		r := m.Solve(Options{MaxNodes: 2000})
+		r := m.Solve(context.Background(), Options{MaxNodes: 2000})
 		if r.Status != Optimal && r.Status != Feasible {
 			return true
 		}
@@ -393,7 +394,7 @@ func BenchmarkKnapsack30(b *testing.B) {
 			terms[j] = Term{v, weights[j]}
 		}
 		m.AddConstr("w", terms, LE, 60)
-		if r := m.Solve(Options{MaxNodes: 20000}); r.Status != Optimal && r.Status != Feasible {
+		if r := m.Solve(context.Background(), Options{MaxNodes: 20000}); r.Status != Optimal && r.Status != Feasible {
 			b.Fatalf("status=%v", r.Status)
 		}
 	}

@@ -1,6 +1,9 @@
 package mip
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // Repro: capacity row with penalty slack; adding one free integer unit
 // should drive slack to zero.
@@ -14,7 +17,7 @@ func TestPenaltySlackRepaired(t *testing.T) {
 	m.AddConstr("cap", []Term{{x, 1}, {z, -1}, {s, 1}}, GE, 4.56)
 	m.AddConstr("assign", []Term{{x, 1}}, LE, 10)
 	m.SetInitial([]float64{8, 4, 0.56}) // 8 - 4 = 4 < 4.56 → slack .56
-	r := m.Solve(Options{MaxNodes: 100})
+	r := m.Solve(context.Background(), Options{MaxNodes: 100})
 	t.Logf("status=%v obj=%v X=%v", r.Status, r.Objective, r.X)
 	if r.X[s] > 1e-6 {
 		t.Fatalf("slack not repaired: %v", r.X[s])

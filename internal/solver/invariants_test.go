@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -82,7 +83,7 @@ func invariantCheck(t *testing.T, seed int64) bool {
 			}
 		}
 
-		res, err := Solve(in, Config{
+		res, err := Solve(context.Background(), in, Config{
 			Phase1TimeLimit: 3 * time.Second, Phase2TimeLimit: time.Second,
 			MaxNodes: 40, SharedBufferFraction: -1,
 		})
@@ -165,7 +166,7 @@ func TestStorageQuorumSpread(t *testing.T) {
 		RRUs: 60, CountBased: true,
 		Policy: reservation.Policy{SingleDC: -1, SpreadMSB: 0.25},
 	}
-	res, err := Solve(freshInput(region, []reservation.Reservation{storage}),
+	res, err := Solve(context.Background(), freshInput(region, []reservation.Reservation{storage}),
 		Config{Phase1TimeLimit: 6 * time.Second, Phase2TimeLimit: time.Second,
 			MaxNodes: 120, SharedBufferFraction: -1})
 	if err != nil {

@@ -27,6 +27,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -227,6 +228,11 @@ type Result struct {
 	RanPhase2 bool
 	// Phase2Reservations lists the reservations refined in phase 2.
 	Phase2Reservations []reservation.ID
+	// Cancelled reports that the solve context was cancelled before the
+	// round completed. Targets still hold the best incumbent assignment
+	// (falling back to the current assignment for phases that never produced
+	// one), and the phase stats record how far the search got.
+	Cancelled bool
 }
 
 // TotalTime reports the full allocation time across phases.
@@ -268,7 +274,16 @@ func wearBucket(w float64) int {
 
 // Solve runs one continuous-optimization round and returns target bindings
 // for every server.
-func Solve(in Input, cfg Config) (*Result, error) {
+//
+// ctx bounds the whole round: each phase derives its own deadline as the
+// earlier of the phase time limit and the context deadline, and cancelling
+// ctx aborts the running phase's branch-and-bound promptly. A cancelled
+// round is not an error — the Result carries the best incumbent targets
+// with Cancelled set.
+func Solve(ctx context.Context, in Input, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if in.Region == nil {
 		return nil, fmt.Errorf("solver: nil region")
 	}
@@ -287,12 +302,13 @@ func Solve(in Input, cfg Config) (*Result, error) {
 	// ---- Phase 1: whole region, MSB granularity (or rack granularity
 	// when the single-phase ablation is on). ------------------------------
 	pool := usableServers(in)
-	p1 := solvePhase(in, cfg, specs, pool, res.Targets, cfg.RackGoalsInPhase1, cfg.Phase1TimeLimit)
+	p1 := solvePhase(ctx, in, cfg, specs, pool, res.Targets, cfg.RackGoalsInPhase1, cfg.Phase1TimeLimit)
 	res.Phase1 = p1.stats
 	realize(in, specs, p1, res.Targets)
 
 	// ---- Phase 2: rack goals for the worst reservations. ----------------
-	if !cfg.DisableRackPhase && !cfg.RackGoalsInPhase1 {
+	// A cancelled phase 1 skips it: the caller asked the whole round to stop.
+	if !cfg.DisableRackPhase && !cfg.RackGoalsInPhase1 && ctx.Err() == nil {
 		subset := pickPhase2(in, cfg, specs, res.Targets)
 		if len(subset) > 0 {
 			sub := make(map[reservation.ID]bool, len(subset))
@@ -310,7 +326,7 @@ func Solve(in Input, cfg Config) (*Result, error) {
 					pool2 = append(pool2, id)
 				}
 			}
-			p2 := solvePhase(in, cfg, specs2, pool2, res.Targets, true, cfg.Phase2TimeLimit)
+			p2 := solvePhase(ctx, in, cfg, specs2, pool2, res.Targets, true, cfg.Phase2TimeLimit)
 			res.Phase2 = p2.stats
 			res.RanPhase2 = true
 			for id := range subset {
@@ -322,6 +338,11 @@ func Solve(in Input, cfg Config) (*Result, error) {
 			realize(in, specs2, p2, res.Targets)
 		}
 	}
+
+	// Only explicit cancellation is reported as Cancelled: a ctx *deadline*
+	// expiring is a time budget running out, which is the paper's ordinary
+	// early-timeout path (Feasible result, measured gap — Figure 9).
+	res.Cancelled = ctx.Err() == context.Canceled
 
 	// ---- Move accounting (expression 1 / Figure 16). --------------------
 	for i := range in.States {
@@ -470,8 +491,15 @@ type phaseOutput struct {
 // solvePhase builds and solves one phase's MIP over the given server pool.
 // rackLevel selects the grouping granularity and enables expression 2.
 // targets carries phase-1 intent (used for warm starts in phase 2).
-func solvePhase(in Input, cfg Config, specs []resSpec, pool []topology.ServerID,
+//
+// The phase deadline is derived from the parent context: the MIP stops at
+// the earlier of now+limit and the parent's own deadline, and parent
+// cancellation aborts the search immediately.
+func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool []topology.ServerID,
 	targets []reservation.ID, rackLevel bool, limit time.Duration) *phaseOutput {
+
+	phaseCtx, cancel := context.WithTimeout(ctx, limit)
+	defer cancel()
 
 	out := &phaseOutput{specs: specs}
 
@@ -777,8 +805,7 @@ func solvePhase(in Input, cfg Config, specs []resSpec, pool []topology.ServerID,
 	// Gap tolerances: proving optimality below the cost of a single idle
 	// move is pointless churn, so stop there (the paper likewise accepts
 	// early timeouts and measures the remaining gap, Figure 9).
-	r := m.Solve(mip.Options{
-		TimeLimit:   limit,
+	r := m.Solve(phaseCtx, mip.Options{
 		MaxNodes:    cfg.MaxNodes,
 		AbsGap:      0.9 * cfg.MoveCostIdle,
 		RelGap:      0.02,
@@ -790,7 +817,7 @@ func solvePhase(in Input, cfg Config, specs []resSpec, pool []topology.ServerID,
 	out.stats.LPSolves = r.LPSolves
 	out.stats.LPIters = r.LPIters
 	out.stats.LPLimited = r.LPLimited
-	if r.Status == mip.Optimal || r.Status == mip.Feasible {
+	if r.Status == mip.Optimal || r.Status == mip.Feasible || r.Status == mip.Cancelled {
 		out.stats.Objective = r.Objective
 		out.stats.Bound = r.Bound
 		out.stats.GapPreemptions = r.Gap() / cfg.MoveCostInUse

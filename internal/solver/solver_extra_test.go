@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"testing"
 
 	"ras/internal/broker"
@@ -16,7 +17,7 @@ func TestRRUvsCountSemantics(t *testing.T) {
 	rruRes := []reservation.Reservation{
 		{ID: 0, Name: "rru", Class: hardware.Web, RRUs: 20, Policy: reservation.DefaultPolicy()},
 	}
-	res, err := Solve(freshInput(region, rruRes), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, rruRes), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestEligibleTypesRestriction(t *testing.T) {
 		{ID: 0, Name: "narrow", Class: hardware.Web, RRUs: 3, CountBased: true,
 			EligibleTypes: []int{want}, Policy: reservation.DefaultPolicy()},
 	}
-	res, err := Solve(freshInput(region, rsvs), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, rsvs), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestLoanedServersAreCheapToMove(t *testing.T) {
 	in.States[0].Current = 7
 	in.States[0].LoanedTo = 9
 	in.States[0].Containers = 4
-	res, err := Solve(in, fastCfg())
+	res, err := Solve(context.Background(), in, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

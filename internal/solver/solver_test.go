@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -88,7 +89,7 @@ func TestSolveFulfillsCapacityWithBuffer(t *testing.T) {
 		{ID: 0, Name: "web", Class: hardware.Web, RRUs: 30, Policy: reservation.DefaultPolicy()},
 		{ID: 1, Name: "feed", Class: hardware.Feed1, RRUs: 20, Policy: reservation.DefaultPolicy()},
 	}
-	res, err := Solve(freshInput(region, rsvs), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, rsvs), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestSolveStability(t *testing.T) {
 		{ID: 0, Name: "web", Class: hardware.Web, RRUs: 25, Policy: reservation.DefaultPolicy()},
 	}
 	in := freshInput(region, rsvs)
-	res1, err := Solve(in, fastCfg())
+	res1, err := Solve(context.Background(), in, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestSolveStability(t *testing.T) {
 			in.States[i].Containers = 3 // now in use
 		}
 	}
-	res2, err := Solve(in, fastCfg())
+	res2, err := Solve(context.Background(), in, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestSolveExcludesUnavailable(t *testing.T) {
 	for i := 0; i < len(in.States); i += 3 {
 		in.States[i].Unavail = broker.RandomFailure
 	}
-	res, err := Solve(in, fastCfg())
+	res, err := Solve(context.Background(), in, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestSolveTreatsMaintenanceAsUsable(t *testing.T) {
 	for i := range in.States {
 		in.States[i].Unavail = broker.PlannedMaintenance
 	}
-	res, err := Solve(in, fastCfg())
+	res, err := Solve(context.Background(), in, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestSolveSpreadBeatsGreedyConcentration(t *testing.T) {
 			in.States[i].Current = 0
 		}
 	}
-	res, err := Solve(in, fastCfg())
+	res, err := Solve(context.Background(), in, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestSolveSingleDCPolicy(t *testing.T) {
 		{ID: 0, Name: "ml", Class: hardware.Web, RRUs: 6, CountBased: true,
 			Policy: reservation.Policy{SingleDC: 1}},
 	}
-	res, err := Solve(freshInput(region, rsvs), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, rsvs), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestSolveDCAffinity(t *testing.T) {
 				AffinityTheta: 0.1,
 			}},
 	}
-	res, err := Solve(freshInput(region, rsvs), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, rsvs), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestSolveElasticIgnored(t *testing.T) {
 	rsvs := []reservation.Reservation{
 		{ID: 0, Name: "batch", Class: hardware.FleetAvg, RRUs: 5, Elastic: true, Policy: reservation.DefaultPolicy()},
 	}
-	res, err := Solve(freshInput(region, rsvs), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, rsvs), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestSolveSharedBuffer(t *testing.T) {
 	}
 	cfg := fastCfg()
 	cfg.SharedBufferFraction = 0.02
-	res, err := Solve(freshInput(region, rsvs), cfg)
+	res, err := Solve(context.Background(), freshInput(region, rsvs), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestSolveInfeasibleSoftens(t *testing.T) {
 	rsvs := []reservation.Reservation{
 		{ID: 0, Name: "huge", Class: hardware.Web, RRUs: 10000, CountBased: true, Policy: reservation.DefaultPolicy()},
 	}
-	res, err := Solve(freshInput(region, rsvs), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, rsvs), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +339,7 @@ func TestSolveInfeasibleSoftens(t *testing.T) {
 
 func TestSolveEmptyReservations(t *testing.T) {
 	region := testRegion(t, 1, 2, 2, 2, 11)
-	res, err := Solve(freshInput(region, nil), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, nil), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,11 +351,11 @@ func TestSolveEmptyReservations(t *testing.T) {
 }
 
 func TestSolveInputValidation(t *testing.T) {
-	if _, err := Solve(Input{}, Config{}); err == nil {
+	if _, err := Solve(context.Background(), Input{}, Config{}); err == nil {
 		t.Fatal("nil region must error")
 	}
 	region := testRegion(t, 1, 1, 1, 2, 12)
-	if _, err := Solve(Input{Region: region, States: make([]broker.ServerState, 1)}, Config{}); err == nil {
+	if _, err := Solve(context.Background(), Input{Region: region, States: make([]broker.ServerState, 1)}, Config{}); err == nil {
 		t.Fatal("state/server count mismatch must error")
 	}
 }
@@ -366,7 +367,7 @@ func TestSolveSetupOnly(t *testing.T) {
 	}
 	cfg := fastCfg()
 	cfg.SetupOnly = true
-	res, err := Solve(freshInput(region, rsvs), cfg)
+	res, err := Solve(context.Background(), freshInput(region, rsvs), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +384,7 @@ func TestSolveBreakdownPopulated(t *testing.T) {
 	rsvs := []reservation.Reservation{
 		{ID: 0, Name: "web", Class: hardware.Web, RRUs: 10, Policy: reservation.DefaultPolicy()},
 	}
-	res, err := Solve(freshInput(region, rsvs), fastCfg())
+	res, err := Solve(context.Background(), freshInput(region, rsvs), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -477,7 +478,7 @@ func TestPhase2RunsAndImprovesRackSpread(t *testing.T) {
 	}
 	cfg := fastCfg()
 	cfg.AlphaRack = 0.10 // forces rack goals to matter
-	res, err := Solve(freshInput(region, rsvs), cfg)
+	res, err := Solve(context.Background(), freshInput(region, rsvs), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -57,7 +58,7 @@ func TestWearAwarePlacement(t *testing.T) {
 		MaxNodes: 120, SharedBufferFraction: -1,
 		WearPenalty: 5, DisableRackPhase: true,
 	}
-	res, err := Solve(in, cfg)
+	res, err := Solve(context.Background(), in, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestWearAwarePlacement(t *testing.T) {
 
 	// Control: with the penalty off, wear must not even enter the grouping.
 	cfg.WearPenalty = 0
-	res2, err := Solve(in, cfg)
+	res2, err := Solve(context.Background(), in, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,10 +19,11 @@
 package ras
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"ras/internal/allocator"
+	"ras/internal/backend"
 	"ras/internal/broker"
 	"ras/internal/greedy"
 	"ras/internal/hardware"
@@ -53,10 +54,16 @@ type (
 	Policy = reservation.Policy
 	// Class is a service class with distinct hardware affinity.
 	Class = hardware.Class
-	// SolverConfig tunes the async solver.
+	// SolverConfig tunes the async solver (the MIP backend).
 	SolverConfig = solver.Config
-	// SolveResult is the outcome of one continuous-optimization round.
-	SolveResult = solver.Result
+	// LocalSearchConfig tunes the local-search backend.
+	LocalSearchConfig = localsearch.Config
+	// SolveResult is the backend-independent outcome of one
+	// continuous-optimization round. Backend detail (phase stats, search
+	// steps) is carried in its MIP / LocalSearch fields.
+	SolveResult = backend.Result
+	// SolveStatus classifies a solve outcome.
+	SolveStatus = backend.Status
 	// ContainerID identifies a container placed by the allocator.
 	ContainerID = allocator.ContainerID
 	// HealthConfig sets failure-injection rates.
@@ -83,6 +90,18 @@ const (
 	SharedBuffer = reservation.SharedBuffer
 )
 
+// Solve statuses, re-exported from the backend layer.
+const (
+	SolveOptimal    = backend.StatusOptimal
+	SolveFeasible   = backend.StatusFeasible
+	SolveCancelled  = backend.StatusCancelled
+	SolveNoSolution = backend.StatusNoSolution
+)
+
+// Backends lists the registered solver backends selectable via
+// Options.Backend or System.SolveWith ("mip" and "localsearch" by default).
+func Backends() []string { return backend.Names() }
+
 // NewRegion generates a synthetic region from the spec.
 func NewRegion(spec RegionSpec) (*Region, error) { return topology.Generate(spec) }
 
@@ -91,8 +110,15 @@ func DefaultPolicy() Policy { return reservation.DefaultPolicy() }
 
 // Options configures a System.
 type Options struct {
-	// Solver tunes the async solver; the zero value selects defaults.
+	// Backend names the optimization backend Solve uses: "mip" (default)
+	// or "localsearch", or any name registered with the backend registry.
+	Backend string
+	// Solver tunes the async solver (MIP backend); the zero value selects
+	// defaults.
 	Solver SolverConfig
+	// LocalSearch tunes the local-search backend; the zero value selects
+	// defaults.
+	LocalSearch LocalSearchConfig
 	// Health sets failure-injection rates; the zero value selects
 	// health.DefaultConfig().
 	Health *HealthConfig
@@ -118,7 +144,7 @@ type System struct {
 	greedy *greedy.Assigner
 
 	opts      Options
-	lastSolve *solver.Result
+	lastSolve *SolveResult
 }
 
 // NewSystem wires a System over the region.
@@ -200,57 +226,63 @@ func (s *System) ResizeReservation(id ReservationID, rrus float64) error {
 // pool at the next Solve.
 func (s *System) DeleteReservation(id ReservationID) error { return s.store.Delete(id) }
 
-// Solve runs one continuous-optimization round (Figure 6 steps 2–5): it
-// snapshots the broker and reservation store, solves the two-phase MIP,
-// persists the target bindings, and has the online mover execute them.
-func (s *System) Solve(now Clock) (*SolveResult, error) {
+// Solve runs one continuous-optimization round (Figure 6 steps 2–5) with
+// the backend selected by Options.Backend: it snapshots the broker and
+// reservation store, solves, persists the target bindings, and has the
+// online mover execute them. ctx bounds the whole round; cancelling it
+// aborts the running solve promptly and the round completes with the best
+// incumbent assignment (Status SolveCancelled).
+func (s *System) Solve(ctx context.Context, now Clock) (*SolveResult, error) {
+	return s.SolveWith(ctx, now, s.opts.Backend)
+}
+
+// SolveWith is Solve with an explicit backend name ("mip", "localsearch",
+// or any registered name; empty selects the default), letting one System
+// mix backends across rounds — e.g. hourly MIP rounds with near-realtime
+// local-search touch-ups in between (paper §6).
+func (s *System) SolveWith(ctx context.Context, now Clock, backendName string) (*SolveResult, error) {
 	if s.opts.Greedy {
 		missing := s.greedy.FulfillAll(s.store.All())
 		if missing > 0 {
 			return nil, fmt.Errorf("ras: greedy baseline left %.1f RRUs unfulfilled", missing)
 		}
-		return &solver.Result{}, nil
+		return &SolveResult{Backend: "greedy", Status: SolveFeasible}, nil
+	}
+	be, err := backend.New(backendName, backend.Config{
+		Solver:      s.opts.Solver,
+		LocalSearch: s.opts.LocalSearch,
+	})
+	if err != nil {
+		return nil, err
 	}
 	in := solver.Input{
 		Region:       s.region,
 		Reservations: s.store.All(),
 		States:       s.broker.Snapshot(),
 	}
-	res, err := solver.Solve(in, s.opts.Solver)
+	res, err := be.Solve(ctx, in, backend.Options{})
 	if err != nil {
 		return nil, err
 	}
-	targets := make(map[topology.ServerID]reservation.ID, len(res.Targets))
-	for i, tgt := range res.Targets {
-		targets[topology.ServerID(i)] = tgt
+	if res.Status != SolveNoSolution {
+		// A cancelled round still persists: its incumbent can never regress
+		// below the assignment the round started from (§3.5.1 softening).
+		s.applyTargets(res.Targets, now)
 	}
-	s.broker.SetTargets(targets)
-	s.mover.ApplyTargets(now)
 	s.lastSolve = res
 	return res, nil
 }
 
-// SolveLocalSearch runs one optimization round using the local-search
-// backend instead of the MIP (the other ReBalancer backend of paper §6:
-// near-realtime, slightly lower placement quality). Targets are persisted
-// and executed exactly as Solve does.
-func (s *System) SolveLocalSearch(now Clock, timeLimit time.Duration) (*localsearch.Result, error) {
-	in := solver.Input{
-		Region:       s.region,
-		Reservations: s.store.All(),
-		States:       s.broker.Snapshot(),
-	}
-	res, err := localsearch.Solve(in, localsearch.Config{TimeLimit: timeLimit})
-	if err != nil {
-		return nil, err
-	}
-	targets := make(map[topology.ServerID]reservation.ID, len(res.Targets))
-	for i, tgt := range res.Targets {
+// applyTargets persists solved target bindings to the broker and has the
+// online mover execute them (Figure 6 steps 4–5) — the single persistence
+// path shared by every backend.
+func (s *System) applyTargets(tgts []reservation.ID, now Clock) {
+	targets := make(map[topology.ServerID]reservation.ID, len(tgts))
+	for i, tgt := range tgts {
 		targets[topology.ServerID(i)] = tgt
 	}
 	s.broker.SetTargets(targets)
 	s.mover.ApplyTargets(now)
-	return res, nil
 }
 
 // LastSolve returns the most recent solve result (nil before the first).

@@ -1,8 +1,8 @@
 package ras_test
 
 import (
+	"context"
 	"testing"
-	"time"
 
 	"ras"
 	"ras/internal/sim"
@@ -28,12 +28,15 @@ func TestSystemEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Solve(0)
+	res, err := sys.Solve(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Phase1.AssignVars == 0 {
+	if res.MIP == nil || res.MIP.Phase1.AssignVars == 0 {
 		t.Fatal("no assignment variables")
+	}
+	if res.Backend != "mip" || res.Status == ras.SolveNoSolution {
+		t.Fatalf("unexpected solve result: backend=%q status=%v", res.Backend, res.Status)
 	}
 	if sys.LastSolve() != res {
 		t.Fatal("LastSolve mismatch")
@@ -63,13 +66,13 @@ func TestSystemResizeAndDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.ResizeReservation(id, 20); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Solve(sim.Hour); err != nil {
+	if _, err := sys.Solve(context.Background(), sim.Hour); err != nil {
 		t.Fatal(err)
 	}
 	total, _, _ := sys.GuaranteedRRUs(id)
@@ -79,7 +82,7 @@ func TestSystemResizeAndDelete(t *testing.T) {
 	if err := sys.DeleteReservation(id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Solve(2 * sim.Hour); err != nil {
+	if _, err := sys.Solve(context.Background(), 2*sim.Hour); err != nil {
 		t.Fatal(err)
 	}
 	if n := len(sys.Broker().ServersIn(id)); n != 0 {
@@ -105,7 +108,7 @@ func TestSystemGreedyBaseline(t *testing.T) {
 	if got := len(sys.Broker().ServersIn(id)); got < 8 {
 		t.Fatalf("greedy assigned %d servers, want ≥ 8", got)
 	}
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		t.Fatalf("greedy Solve: %v", err)
 	}
 }
@@ -123,7 +126,7 @@ func TestSystemElasticLoans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if loans := sys.LoanBuffersToElastic(); loans == 0 {
@@ -144,7 +147,7 @@ func TestMSBFailureSurvival(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Solve(0); err != nil {
+	if _, err := sys.Solve(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	r, _ := sys.Reservations().Get(id)
@@ -172,11 +175,14 @@ func TestSolveLocalSearchBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.SolveLocalSearch(0, 2*time.Second)
+	res, err := sys.SolveWith(context.Background(), 0, "localsearch")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Steps == 0 {
+	if res.Backend != "localsearch" || res.LocalSearch == nil {
+		t.Fatalf("expected local-search detail, got backend=%q", res.Backend)
+	}
+	if res.LocalSearch.Steps == 0 {
 		t.Fatal("local-search backend made no moves")
 	}
 	_, surviving, err := sys.GuaranteedRRUs(id)
