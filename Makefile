@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race smoke bench bench-baseline
 
-check: fmt vet build test race
+check: fmt vet build test race smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -21,9 +21,24 @@ build:
 test:
 	$(GO) test ./...
 
+# The race suite covers the parallel solve paths: the mip/localsearch/backend
+# tests exercise Workers > 1 (branch-and-bound pool, racing heuristics,
+# multi-start climbs) under the race detector.
 race:
 	$(GO) test -race ./...
+
+# End-to-end smoke run of the parallel solver on a synthetic region.
+smoke:
+	$(GO) run ./cmd/rassolve -synthetic -workers 4 -time-limit 10s >/dev/null
 
 # Solver/backend benchmarks (ablations + backend comparison).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Record the solver benchmark baseline (1/2/NumCPU worker sweeps) as JSON.
+# The raw Go benchmark lines are preserved under "benchfmt_lines"; extract
+# them with jq for benchstat comparisons against a later run.
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkBackend' -benchtime 3x -count 1 . \
+		| $(GO) run ./cmd/benchjson > BENCH_solver.json
+	@echo "wrote BENCH_solver.json"

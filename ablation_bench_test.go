@@ -8,6 +8,8 @@ package ras_test
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -106,29 +108,50 @@ func BenchmarkAblationWarmStartOff(b *testing.B) {
 	runAblation(b, solver.Config{DisableWarmStart: true})
 }
 
+// benchWorkerCounts are the parallelism levels every backend bench runs at:
+// serial, two-way, and the full machine. Duplicates (NumCPU == 1 or 2) are
+// skipped so benchstat sees each configuration once.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
 // BenchmarkBackendMIP solves the ablation workload with the MIP backend —
 // the backend ReBalancer picks for RAS (§6): better placement quality,
-// minutes-scale budget in production.
+// minutes-scale budget in production. Sub-benchmarks sweep the worker count
+// (workers=1 is the exact serial solver).
 func BenchmarkBackendMIP(b *testing.B) {
-	runBackendBench(b, "mip", backend.Config{Solver: solver.Config{
-		Phase1TimeLimit: 20 * time.Second, Phase2TimeLimit: 5 * time.Second,
-		MaxNodes: 100, SharedBufferFraction: -1,
-	}})
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runBackendBench(b, "mip", backend.Config{Solver: solver.Config{
+				Phase1TimeLimit: 20 * time.Second, Phase2TimeLimit: 5 * time.Second,
+				MaxNodes: 100, SharedBufferFraction: -1,
+			}}, w)
+		})
+	}
 }
 
 // BenchmarkBackendLocalSearch solves the same workload with the local-search
 // backend — the one ReBalancer picks for near-realtime users like Shard
-// Manager (§6): seconds-scale, slightly worse placement quality.
+// Manager (§6): seconds-scale, slightly worse placement quality. For this
+// backend the worker count is the number of independent seeded climbs.
 func BenchmarkBackendLocalSearch(b *testing.B) {
-	runBackendBench(b, "localsearch", backend.Config{
-		LocalSearch: localsearch.Config{TimeLimit: 2 * time.Second, Seed: 9},
-	})
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runBackendBench(b, "localsearch", backend.Config{
+				LocalSearch: localsearch.Config{TimeLimit: 2 * time.Second, Seed: 9},
+			}, w)
+		})
+	}
 }
 
 // runBackendBench solves the ablation workload through the unified Backend
 // interface, so both backend benches exercise the exact code path production
 // callers use and report the common backend-independent metrics.
-func runBackendBench(b *testing.B, name string, cfg backend.Config) {
+func runBackendBench(b *testing.B, name string, cfg backend.Config, workers int) {
 	b.Helper()
 	region, rsvs, states := ablationWorkload(b)
 	be, err := backend.New(name, cfg)
@@ -139,7 +162,8 @@ func runBackendBench(b *testing.B, name string, cfg backend.Config) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := be.Solve(context.Background(),
-			solver.Input{Region: region, Reservations: rsvs, States: states}, backend.Options{})
+			solver.Input{Region: region, Reservations: rsvs, States: states},
+			backend.Options{Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark baseline on stdout.
+//
+// Each benchmark line becomes a record with the parsed per-op metrics keyed
+// by unit (ns/op, B/op, allocs/op, plus any b.ReportMetric units such as
+// objective). The original text lines are preserved verbatim under
+// "benchfmt_lines" so the Go benchmark format can be reconstructed for
+// benchstat:
+//
+//	jq -r '.benchfmt_lines[]' BENCH_solver.json > old.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the full converted report.
+type Baseline struct {
+	Goos          string   `json:"goos,omitempty"`
+	Goarch        string   `json:"goarch,omitempty"`
+	Pkg           string   `json:"pkg,omitempty"`
+	CPU           string   `json:"cpu,omitempty"`
+	Benchmarks    []Bench  `json:"benchmarks"`
+	BenchfmtLines []string `json:"benchfmt_lines"`
+}
+
+func main() {
+	var out Baseline
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			out.BenchfmtLines = append(out.BenchfmtLines, line)
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			out.BenchfmtLines = append(out.BenchfmtLines, line)
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			out.BenchfmtLines = append(out.BenchfmtLines, line)
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			out.BenchfmtLines = append(out.BenchfmtLines, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			out.Benchmarks = append(out.Benchmarks, b)
+			out.BenchfmtLines = append(out.BenchfmtLines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses "BenchmarkName-8  N  v1 unit1  v2 unit2 ...".
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

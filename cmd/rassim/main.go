@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -38,7 +39,9 @@ func main() {
 		failDay  = flag.Int("fail-day", 1, "virtual day of the correlated-failure drill")
 		quiet    = flag.Bool("q", false, "suppress the hourly log")
 		fillFrac = flag.Float64("fill", 0.7, "fraction of the region requested as capacity")
-		beName   = flag.String("backend", backend.DefaultName,
+		workers  = flag.Int("workers", runtime.NumCPU(),
+			"solve parallelism for the hourly rounds: branch-and-bound workers (mip) or climb starts (localsearch); 1 = serial")
+		beName = flag.String("backend", backend.DefaultName,
 			"solver backend for the hourly rounds ("+strings.Join(backend.Names(), ", ")+")")
 	)
 	flag.Parse()
@@ -56,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := ras.NewSystem(region, ras.Options{Backend: *beName})
+	sys := ras.NewSystem(region, ras.Options{Backend: *beName, Workers: *workers})
 	logger.Printf("region: %d DCs, %d MSBs, %d racks, %d servers",
 		region.NumDCs, region.NumMSBs, region.NumRacks, len(region.Servers))
 

@@ -32,6 +32,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -106,7 +107,9 @@ func main() {
 		msbs      = flag.Int("msbs", 3, "synthetic: MSBs per DC")
 		nres      = flag.Int("reservations", 4, "synthetic: reservation count")
 		timeLimit = flag.Duration("time-limit", 10*time.Second, "solve time limit")
-		beName    = flag.String("backend", backend.DefaultName,
+		workers   = flag.Int("workers", runtime.NumCPU(),
+			"solve parallelism: branch-and-bound workers (mip) or climb starts (localsearch); 1 = serial")
+		beName = flag.String("backend", backend.DefaultName,
 			"solver backend ("+strings.Join(backend.Names(), ", ")+")")
 	)
 	flag.Parse()
@@ -172,7 +175,7 @@ func main() {
 	b := broker.New(region)
 	res, err := be.Solve(ctx, solver.Input{
 		Region: region, Reservations: rsvs, States: b.Snapshot(),
-	}, backend.Options{TimeLimit: *timeLimit})
+	}, backend.Options{TimeLimit: *timeLimit, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -39,6 +40,23 @@ type Options struct {
 	// either way; Solve implementations derive their internal deadlines from
 	// the context.
 	TimeLimit time.Duration
+	// Workers caps one solve's parallelism: branch-and-bound workers for
+	// the MIP backend, independent climb starts for local search. Zero
+	// means runtime.NumCPU() — backends exploit the whole machine unless
+	// told otherwise; 1 forces the exact serial engines.
+	Workers int
+}
+
+// workers resolves the Workers knob: zero → NumCPU, floor 1.
+func (o Options) workers() int {
+	w := o.Workers
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Backend is one interchangeable optimization engine producing a full
@@ -200,6 +218,7 @@ func (b *mipBackend) Solve(ctx context.Context, in solver.Input, opts Options) (
 		cfg.Phase1TimeLimit = opts.TimeLimit * 2 / 3
 		cfg.Phase2TimeLimit = opts.TimeLimit / 3
 	}
+	cfg.Workers = opts.workers()
 	start := time.Now()
 	res, err := solver.Solve(ctx, in, cfg)
 	if err != nil {
@@ -243,6 +262,7 @@ func (b *localSearchBackend) Solve(ctx context.Context, in solver.Input, opts Op
 	if opts.TimeLimit > 0 {
 		cfg.TimeLimit = opts.TimeLimit
 	}
+	cfg.Starts = opts.workers()
 	res, err := localsearch.Solve(ctx, in, cfg)
 	if err != nil {
 		return nil, err

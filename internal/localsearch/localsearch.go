@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"ras/internal/broker"
@@ -37,8 +38,15 @@ type Config struct {
 	// Candidates is the sample size per step. Zero means 48.
 	Candidates int
 	// Seed drives candidate sampling. The search is deterministic given a
-	// seed and input.
+	// seed, a start count, and an input.
 	Seed int64
+	// Starts is the number of independent hill-climbing starts racing in
+	// parallel; the best final assignment wins. Zero or one runs the exact
+	// single-start search. Every start derives its RNG seed
+	// deterministically from Seed and its start index, so results are
+	// reproducible regardless of scheduling or GOMAXPROCS, and start 0
+	// always equals the single-start search with the same Seed.
+	Starts int
 
 	// Cost structure (defaults mirror solver.Config).
 	AlphaMSB      float64
@@ -97,6 +105,12 @@ type Result struct {
 	// search converged or exhausted its budget; Targets hold the best
 	// assignment reached (every accepted move only ever improved it).
 	Cancelled bool
+	// Starts is the number of independent climbs that ran; BestStart is
+	// the index of the one whose assignment won (ties go to the lowest
+	// index, so the winner is deterministic). Steps and Evaluated are the
+	// winning climb's own counts.
+	Starts    int
+	BestStart int
 }
 
 // state is the incremental evaluation state.
@@ -137,8 +151,56 @@ func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(in.Region)
 	start := time.Now()
 
+	if cfg.Starts <= 1 {
+		res := climb(ctx, in, cfg, cfg.Seed)
+		res.Starts = 1
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Multi-start: independent climbs race on goroutines; each start's RNG
+	// seed is a pure function of (Seed, index), so any scheduling order
+	// produces the same per-start results and therefore — with the
+	// lowest-index tie break below — the same winner.
+	results := make([]*Result, cfg.Starts)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = climb(ctx, in, cfg, startSeed(cfg.Seed, i))
+		}(i)
+	}
+	wg.Wait()
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if results[i].Objective < results[best].Objective {
+			best = i
+		}
+	}
+	res := results[best]
+	res.Starts = cfg.Starts
+	res.BestStart = best
+	res.Elapsed = time.Since(start)
+	res.Cancelled = ctx.Err() == context.Canceled
+	return res, nil
+}
+
+// startSeed derives the deterministic RNG seed of start i: a golden-ratio
+// stride keeps consecutive starts' rand streams well separated, and start 0
+// is the base seed itself so Starts=1 reproduces the single-start search.
+func startSeed(base int64, i int) int64 {
+	const stride = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+	return base + int64(i)*stride
+}
+
+// climb runs one full hill-climbing search (seeding, steepest-of-sample
+// loop, result assembly) with the given RNG seed. Each climb owns all of
+// its state, so any number may run concurrently on one input.
+func climb(ctx context.Context, in solver.Input, cfg Config, seed int64) *Result {
+	start := time.Now()
 	s := newState(in, cfg)
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(seed))
 	res := &Result{}
 
 	// Greedy waterfill seeding: single-server hill climbing cannot escape
@@ -224,7 +286,7 @@ func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
 			res.Moves.Unused++
 		}
 	}
-	return res, nil
+	return res
 }
 
 func newState(in solver.Input, cfg Config) *state {

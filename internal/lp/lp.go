@@ -111,6 +111,24 @@ func (p *Problem) SetBounds(j int, lo, up float64) {
 // Bounds reports the current bounds of variable j.
 func (p *Problem) Bounds(j int) (lo, up float64) { return p.lo[j], p.up[j] }
 
+// Clone returns a copy of the problem whose bounds (and costs) can be
+// mutated independently of the original — the per-worker scratch state of a
+// parallel branch-and-bound search, where every worker tightens bounds on
+// its own copy between node LPs. The sparse row payloads are shared with the
+// original: rows are append-only and never mutated in place by Solve or
+// SetBounds, so sharing them is safe as long as no rows or variables are
+// added to either copy while clones are in use.
+func (p *Problem) Clone() *Problem {
+	return &Problem{
+		cost:   append([]float64(nil), p.cost...),
+		lo:     append([]float64(nil), p.lo...),
+		up:     append([]float64(nil), p.up...),
+		rows:   append([][]Nonzero(nil), p.rows...),
+		senses: append([]Sense(nil), p.senses...),
+		rhs:    append([]float64(nil), p.rhs...),
+	}
+}
+
 // AddRow appends a constraint row Σ coeffs·x sense rhs and returns its index.
 // Coefficients must reference variables that already exist. Duplicate indices
 // within one row are summed.

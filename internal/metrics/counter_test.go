@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value()=%d, want 8000", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Value()=%d after Reset, want 0", got)
+	}
+}
+
+func TestSolverCountersWired(t *testing.T) {
+	// The package-level solver counters exist and accumulate; the mip
+	// package bumps them on every Solve.
+	Solver.Solves.Reset()
+	Solver.WorkersUsed.Reset()
+	Solver.Solves.Add(2)
+	Solver.WorkersUsed.Add(8)
+	if Solver.Solves.Value() != 2 || Solver.WorkersUsed.Value() != 8 {
+		t.Fatalf("solver counters: solves=%d workers=%d", Solver.Solves.Value(), Solver.WorkersUsed.Value())
+	}
+	Solver.Solves.Reset()
+	Solver.WorkersUsed.Reset()
+}

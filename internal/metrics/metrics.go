@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Sample is an accumulating collection of float64 observations.
@@ -234,4 +235,30 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Counter is a monotonically increasing atomic counter, safe for concurrent
+// use from solver goroutines. The zero value is ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter (tests, epoch rollovers).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Solver aggregates process-wide counters from the branch-and-bound engine
+// (internal/mip): how many solves ran, at what parallelism, how much tree
+// they explored, and where incumbents came from. WorkersUsed accumulates
+// the resolved worker count of every solve, so WorkersUsed/Solves is the
+// average parallelism actually used.
+var Solver struct {
+	Solves           Counter
+	WorkersUsed      Counter
+	NodesExplored    Counter
+	IncumbentUpdates Counter
+	HeuristicWins    Counter
 }

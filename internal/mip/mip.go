@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"ras/internal/lp"
+	"ras/internal/metrics"
 )
 
 // noWarm disables LP warm starts (debug toggle).
@@ -288,6 +290,14 @@ type Options struct {
 	// NoWarmStart disables LP warm starts between node/heuristic solves
 	// (ablation: every LP solves from a cold crash basis).
 	NoWarmStart bool
+	// Workers is the number of parallel branch-and-bound workers. 0 or 1
+	// run the exact serial algorithm — results are bit-for-bit reproducible
+	// and identical to the historical single-threaded solver. Values > 1
+	// run that many workers over a shared open list, with the root primal
+	// heuristics racing concurrently to seed the incumbent; results remain
+	// correct (same proven status and gap guarantees) but the incumbent
+	// point may differ between runs. Negative means runtime.NumCPU().
+	Workers int
 }
 
 // Result is the outcome of Solve.
@@ -302,6 +312,15 @@ type Result struct {
 	LPDualIters int       // dual-simplex warm-start repair iterations
 	LPLimited   int       // LP solves that hit the iteration limit
 	SolveTime   time.Duration
+	// Workers is the resolved worker count the solve ran with (≥ 1).
+	Workers int
+	// IncumbentUpdates counts accepted improvements of the shared
+	// incumbent, including the serial driver's.
+	IncumbentUpdates int
+	// HeuristicWins counts incumbent updates contributed by the primal
+	// heuristics (round/repair/complete and diving) rather than by
+	// integral node relaxations.
+	HeuristicWins int
 }
 
 // Gap reports the absolute optimality gap incumbent − bound (0 when proven
@@ -351,706 +370,31 @@ func (m *Model) Solve(ctx context.Context, opt Options) Result {
 	if opt.MaxNodes == 0 {
 		opt.MaxNodes = 100000
 	}
-
-	res := Result{Status: NoSolution, Objective: math.Inf(1), Bound: math.Inf(-1)}
-	defer func() { res.SolveTime = time.Since(start) }()
-
-	n := m.prob.NumVars()
-
-	// Save root bounds so the model is unchanged after Solve.
-	rootLo := make([]float64, n)
-	rootUp := make([]float64, n)
-	for j := 0; j < n; j++ {
-		rootLo[j], rootUp[j] = m.prob.Bounds(j)
+	if opt.Workers < 0 {
+		opt.Workers = runtime.NumCPU()
 	}
-	defer func() {
-		for j := 0; j < n; j++ {
-			m.prob.SetBounds(j, rootLo[j], rootUp[j])
-		}
-	}()
-
-	lpOpt := lp.Options{MaxIter: opt.LPIterLimit}
-
-	// Warm-start bookkeeping: every optimal LP exports its basis, and every
-	// subsequent LP of this Solve (heuristic completions, dives, nodes)
-	// starts from the most recent one. Bound changes between solves are
-	// absorbed by dual-simplex repair inside package lp.
-	var warmBasis *lp.Basis
-	forceCold := false
-	solveLP := func() lp.Solution {
-		o := lpOpt
-		o.Start = warmBasis
-		if noWarm || forceCold || opt.NoWarmStart {
-			o.Start = nil
-		}
-		sol := m.prob.Solve(ctx, o)
-		res.LPSolves++
-		res.LPIters += sol.Iterations
-		res.LPDualIters += sol.DualIters
-		if sol.Status == lp.IterLimit {
-			res.LPLimited++
-		}
-		if sol.Basis != nil {
-			warmBasis = sol.Basis
-		}
-		return sol
+	if opt.Workers == 0 {
+		opt.Workers = 1
 	}
 
-	// Seed the incumbent from the warm-start point when valid.
-	var incumbent []float64
-	incObj := math.Inf(1)
-	if m.initial != nil && m.feasibleIntegral(m.initial, opt.IntTol) {
-		incumbent = append([]float64(nil), m.initial...)
-		incObj = m.objective(incumbent)
-	}
+	e := newEngine(ctx, m, opt, start)
+	defer e.restoreRootBounds()
 
-	deadline := time.Time{}
-	if opt.TimeLimit > 0 {
-		deadline = start.Add(opt.TimeLimit)
-	}
-	timedOut := false
-	cancelled := false
-	expired := func() bool {
-		if timedOut || cancelled {
-			return true
-		}
-		// A context deadline is a time budget like Options.TimeLimit and
-		// reports Feasible; only an explicit cancellation reports Cancelled.
-		switch ctx.Err() {
-		case nil:
-		case context.DeadlineExceeded:
-			timedOut = true
-			return true
-		default:
-			cancelled = true
-			return true
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			timedOut = true
-		}
-		return timedOut
-	}
-
-	m.buildColIndex()
-
-	// Continuous contribution range per row: with integer variables pinned,
-	// how much can the row's continuous members still move the activity?
-	// Pure-integer rows have a zero range; rows with an unbounded envelope
-	// or free slack have an infinite side and never bind the guard there.
-	contMin := make([]float64, len(m.rows))
-	contMax := make([]float64, len(m.rows))
-	for i, row := range m.rows {
-		for _, nz := range row {
-			if m.integer[nz.Index] {
-				continue
-			}
-			lo, up := m.prob.Bounds(nz.Index)
-			a, b := nz.Value*lo, nz.Value*up
-			if a > b {
-				a, b = b, a
-			}
-			contMin[i] += a
-			contMax[i] += b
-		}
-	}
-
-	// intAct tracks the integer-variable activity of every row.
-	newIntAct := func(xi []float64) []float64 {
-		act := make([]float64, len(m.rows))
-		for i, row := range m.rows {
-			for _, nz := range row {
-				if m.integer[nz.Index] {
-					act[i] += nz.Value * xi[nz.Index]
-				}
-			}
-		}
-		return act
-	}
-	// guardOK reports whether changing integer variable j by delta leaves
-	// every row of j satisfiable by SOME continuous completion: the
-	// completion LP cannot repair a row whose integer part has moved beyond
-	// the reach of its continuous members.
-	guardBlocked := func(act []float64, j int, delta float64) int {
-		for _, ri := range m.colRows[j] {
-			i := ri.row
-			na := act[i] + ri.coef*delta
-			switch m.senses[i] {
-			case LE:
-				if na+contMin[i] > m.rhs[i]+1e-9 {
-					return i
-				}
-			case GE:
-				if na+contMax[i] < m.rhs[i]-1e-9 {
-					return i
-				}
-			case EQ:
-				if na+contMin[i] > m.rhs[i]+1e-9 || na+contMax[i] < m.rhs[i]-1e-9 {
-					return i
-				}
-			}
-		}
-		return -1
-	}
-	guardOK := func(act []float64, j int, delta float64) bool {
-		return guardBlocked(act, j, delta) == -1
-	}
-	applyDelta := func(act, xi []float64, j int, delta float64) {
-		xi[j] += delta
-		for _, ri := range m.colRows[j] {
-			act[ri.row] += ri.coef * delta
-		}
-	}
-	// guardedRound rounds integer variable j in xi to an integer, preferring
-	// the warm-start value when it brackets the fractional point (rounding
-	// toward the incumbent avoids gratuitous deviation — e.g. spurious
-	// server moves in the RAS model), then the nearest value, falling back
-	// to the other side when pure-integer rows would be violated.
-	guardedRound := func(act, xi []float64, j int) bool {
-		lo, up := m.prob.Bounds(j)
-		floor, ceil := math.Floor(xi[j]), math.Ceil(xi[j])
-		frac := xi[j] - floor
-		first, second := floor, ceil
-		if frac > 0.5 {
-			first, second = second, first
-		}
-		// Anchor toward the warm start only when the fractional point is
-		// genuinely ambiguous; strong fractional pulls (e.g. capacity fills)
-		// must win over stability.
-		if m.initial != nil && j < len(m.initial) && frac > 0.35 && frac < 0.65 {
-			if iv := m.initial[j]; iv == floor || iv == ceil {
-				first, second = iv, floor+ceil-iv
-			}
-		}
-		for _, v := range [2]float64{first, second} {
-			if v < lo-1e-9 || v > up+1e-9 {
-				continue
-			}
-			if guardOK(act, j, v-xi[j]) {
-				applyDelta(act, xi, j, v-xi[j])
-				return true
-			}
-		}
-		return false
-	}
-
-	// completeLP fixes every integer variable to the values in xi, solves
-	// the LP over the remaining continuous variables, and updates the
-	// incumbent on success. It restores all bounds before returning.
-	completeLP := func(xi []float64) bool {
-		type saved struct {
-			v      int
-			lo, up float64
-		}
-		var undo []saved
-		ok := true
-		for j := 0; j < n && ok; j++ {
-			if !m.integer[j] {
-				continue
-			}
-			lo, up := m.prob.Bounds(j)
-			v := math.Round(xi[j])
-			if v < lo || v > up {
-				ok = false
-				break
-			}
-			undo = append(undo, saved{j, lo, up})
-			m.prob.SetBounds(j, v, v)
-		}
-		improved := false
-		if ok {
-			sol := solveLP()
-			if sol.Status == lp.Optimal {
-				x := sol.X
-				for j := 0; j < n; j++ {
-					if m.integer[j] {
-						x[j] = math.Round(x[j])
-					}
-				}
-				if m.feasibleIntegral(x, opt.IntTol) {
-					if obj := m.objective(x); obj < incObj {
-						incObj = obj
-						incumbent = append(incumbent[:0], x...)
-						improved = true
-					}
-				}
-			}
-		}
-		for i := len(undo) - 1; i >= 0; i-- {
-			m.prob.SetBounds(undo[i].v, undo[i].lo, undo[i].up)
-		}
-		return improved
-	}
-
-	// roundRepairComplete is the primary primal heuristic: round integer
-	// variables to nearest, repair violated rows by nudging integer
-	// variables (guarding rows made purely of integer variables, like the
-	// RAS assignment constraints, whose feasibility the completion LP
-	// cannot restore), then let completeLP settle the continuous variables.
-	// Two LP solves total regardless of problem size.
-	roundRepairComplete := func(seed []float64) bool {
-		xi := append([]float64(nil), seed...)
-		for v := range m.penalty {
-			xi[v] = 0 // expose soft violations to the repair pass
-		}
-		act := newIntAct(xi)
-		// Guarded rounding in order of decreasing value keeps big counts
-		// stable and lets small fractional ones absorb the adjustment.
-		order := make([]int, 0, n)
-		for j := 0; j < n; j++ {
-			if m.integer[j] {
-				order = append(order, j)
-			}
-		}
-		sort.Slice(order, func(a, b int) bool { return xi[order[a]] > xi[order[b]] })
-		for _, j := range order {
-			if !guardedRound(act, xi, j) {
-				return false // pure-integer rows unsatisfiable by rounding
-			}
-		}
-
-		// Repair pass over mixed rows: with continuous variables at seed
-		// values, bump zero-cost integer variables (guarded) to close
-		// violations that rounding introduced — e.g. refill capacity lost
-		// to rounded-down counts.
-		for pass := 0; pass < 4; pass++ {
-			dirty := false
-			for i, row := range m.rows {
-				if m.intOnlyRows[i] {
-					continue // kept feasible by the guard
-				}
-				lhs := 0.0
-				for _, nz := range row {
-					lhs += nz.Value * xi[nz.Index]
-				}
-				var need float64
-				switch m.senses[i] {
-				case LE:
-					if lhs > m.rhs[i]+1e-7 {
-						need = m.rhs[i] - lhs
-					}
-				case GE:
-					if lhs < m.rhs[i]-1e-7 {
-						need = m.rhs[i] - lhs
-					}
-				case EQ:
-					if math.Abs(lhs-m.rhs[i]) > 1e-7 {
-						need = m.rhs[i] - lhs
-					}
-				}
-				if need == 0 {
-					continue
-				}
-				// Round-robin unit bumps across DISTINCT row variables: the
-				// members usually span fault domains, and spreading the
-				// bumps avoids inflating a max-per-domain envelope variable
-				// that would cancel the gain. For the same reason,
-				// inequality repairs overshoot by one unit: a single bump
-				// can be eaten entirely by an envelope in its own domain.
-				if m.senses[i] != EQ {
-					need += 2 * sign(need)
-				}
-				// Unit bumps across distinct row variables, spread widely:
-				// the members span fault domains, and clustered bumps can
-				// be absorbed by a max-per-domain envelope variable. GE/LE
-				// repairs overshoot (the envelope can eat one bump).
-				bumped := map[int]bool{}
-				for cycle := 0; cycle < 64 && math.Abs(need) > 1e-9; cycle++ {
-					moved := false
-					for _, nz := range row {
-						j := nz.Index
-						if !m.integer[j] || nz.Value == 0 || m.cost[j] != 0 || bumped[j] {
-							continue
-						}
-						step := sign(need) * sign(nz.Value)
-						lo, up := m.prob.Bounds(j)
-						if xi[j]+step < lo-1e-9 || xi[j]+step > up+1e-9 || !guardOK(act, j, step) {
-							continue
-						}
-						applyDelta(act, xi, j, step)
-						bumped[j] = true
-						need -= step * nz.Value
-						dirty = true
-						moved = true
-						if math.Abs(need) <= 1e-9 || math.Signbit(need) != math.Signbit(need+step*nz.Value) {
-							need = 0
-							break
-						}
-					}
-					if !moved {
-						break
-					}
-					if len(bumped) >= len(row) {
-						bumped = map[int]bool{}
-					}
-				}
-			}
-			if !dirty {
-				break
-			}
-		}
-		return completeLP(xi)
-	}
-
-	// dive runs the diving primal heuristic from an LP-feasible fractional
-	// point: repeatedly fix integer variables that are already (nearly)
-	// integral plus the single most fractional one to a rounded value, then
-	// re-solve the LP until the point is integral or infeasible. It updates
-	// the incumbent on success.
-	dive := func(seed []float64, bias float64) {
-		x := append([]float64(nil), seed...)
-		// Temporary bound changes to undo afterwards.
-		type saved struct {
-			v      int
-			lo, up float64
-		}
-		var undo []saved
-		rollback := func(to int) {
-			for i := len(undo) - 1; i >= to; i-- {
-				m.prob.SetBounds(undo[i].v, undo[i].lo, undo[i].up)
-			}
-			undo = undo[:to]
-		}
-		defer func() { rollback(0) }()
-		fixed := make([]bool, n)
-		for depth := 0; depth < n+1; depth++ {
-			if expired() {
-				return
-			}
-			act := newIntAct(x)
-			// fix pins variable j to a guarded rounding of its value.
-			fix := func(j int) bool {
-				lo, up := m.prob.Bounds(j)
-				f := x[j] - math.Floor(x[j])
-				if f > bias && f < 1 {
-					x[j] = math.Min(up, math.Ceil(x[j])) - 1e-9
-				}
-				if !guardedRound(act, x, j) {
-					return false
-				}
-				undo = append(undo, saved{j, lo, up})
-				m.prob.SetBounds(j, x[j], x[j])
-				fixed[j] = true
-				return true
-			}
-			// Fix near-integral variables in bulk, then a batch of the most
-			// fractional ones (warm-started dual repair keeps LP rounds
-			// cheap). A per-variable guard cannot see joint effects through
-			// coupled continuous variables (e.g. max-envelopes), so when a
-			// batch lands infeasible we roll it back and retry one variable
-			// at a time.
-			type fc struct {
-				j int
-				d float64
-			}
-			var fracs []fc
-			progress := false
-			checkpoint := len(undo)
-			var xcheck []float64
-			for j := 0; j < n; j++ {
-				if !m.integer[j] || fixed[j] {
-					continue
-				}
-				f := x[j] - math.Floor(x[j])
-				d := math.Min(f, 1-f)
-				if d <= 0.01 {
-					if fix(j) {
-						progress = true
-					}
-				} else {
-					fracs = append(fracs, fc{j, d})
-				}
-			}
-			if len(fracs) == 0 {
-				if !progress {
-					break
-				}
-			} else {
-				sort.Slice(fracs, func(a, b int) bool { return fracs[a].d > fracs[b].d })
-				xcheck = append([]float64(nil), x...)
-				batch := len(fracs)/8 + 1
-				fixedAny := false
-				for _, f := range fracs[:batch] {
-					if fix(f.j) {
-						fixedAny = true
-					}
-				}
-				if !fixedAny && !progress {
-					if debugDive {
-						fmt.Printf("DIVE stuck at depth %d (%d fracs)\n", depth, len(fracs))
-					}
-					return
-				}
-			}
-			sol := solveLP()
-			if sol.Status != lp.Optimal && len(fracs) > 0 {
-				// Batch overshot a coupled constraint: retry with a single
-				// most-fractional fix from the checkpoint.
-				rollback(checkpoint)
-				copy(x, xcheck)
-				for _, f := range fracs {
-					fixed[f.j] = false
-				}
-				act = newIntAct(x)
-				if !fix(fracs[0].j) {
-					return
-				}
-				sol = solveLP()
-			}
-			if sol.Status != lp.Optimal {
-				if debugDive {
-					fmt.Printf("DIVE abort: LP %v at depth %d\n", sol.Status, depth)
-				}
-				return // infeasible dive; give up
-			}
-			x = sol.X
-			if m.mostFractional(x, opt.IntTol) == -1 {
-				// Snap integers exactly and accept if feasible.
-				for j := 0; j < n; j++ {
-					if m.integer[j] {
-						x[j] = math.Round(x[j])
-					}
-				}
-				if debugDive && !m.feasibleIntegral(x, opt.IntTol) {
-					fmt.Printf("DIVE end: integral but infeasible\n")
-				}
-				if m.feasibleIntegral(x, opt.IntTol) {
-					if obj := m.objective(x); obj < incObj {
-						incObj = obj
-						incumbent = append(incumbent[:0], x...)
-					}
-				}
-				return
-			}
-		}
-	}
-
-	// Root relaxation.
-	rootSol := solveLP()
-	switch rootSol.Status {
-	case lp.Infeasible:
-		if incumbent != nil {
-			// The warm start satisfies every row by direct evaluation, so an
-			// infeasible relaxation is numerical noise; keep the incumbent.
-			res.Status = Feasible
-			res.Objective = incObj + m.objOffset
-			res.Bound = math.Inf(-1)
-			res.X = incumbent
-			return res
-		}
-		res.Status = Infeasible
-		return res
-	case lp.Unbounded:
-		res.Status = Unbounded
-		return res
-	case lp.IterLimit, lp.Cancelled:
-		if incumbent == nil {
-			res.Status = NoSolution
-			return res
-		}
-		res.Status = Feasible
-		if rootSol.Status == lp.Cancelled && ctx.Err() != context.DeadlineExceeded {
-			res.Status = Cancelled
-		}
-		res.Objective = incObj + m.objOffset
-		res.Bound = math.Inf(-1)
-		res.X = incumbent
-		return res
-	}
-	res.Bound = rootSol.Objective
-	if m.mostFractional(rootSol.X, opt.IntTol) != -1 {
-		roundRepairComplete(rootSol.X)
-		dive(rootSol.X, 0.5)
-		// A second, up-biased dive targets residual shortfalls that the
-		// nearest-rounding dive strands (soft capacity slack).
-		if incObj-rootSol.Objective > math.Max(10*opt.AbsGap, 0.05*math.Abs(incObj)) {
-			dive(rootSol.X, 0.3)
-		}
-		// Warm-started LPs revisit vertices whose roundings can be brittle
-		// on tightly-coupled instances; if the dives have not closed most
-		// of the gap, retry once with cold LPs, which reach different
-		// (often friendlier) vertices.
-		if incObj-rootSol.Objective > math.Max(10*opt.AbsGap, 0.05*math.Abs(incObj)) {
-			forceCold = true
-			dive(rootSol.X, 0.5)
-			forceCold = false
-		}
-		// Polish the incumbent with a repair pass; it can close residual
-		// soft-penalty slack that greedy dives strand.
-		if incumbent != nil {
-			roundRepairComplete(incumbent)
-		}
-	}
-
-	// Open-node pool. Depth-first diving with periodic best-bound selection
-	// keeps memory modest while still improving the global bound.
-	open := []node{{bound: rootSol.Objective}}
-	bestBound := func() float64 {
-		if len(open) == 0 {
-			return incObj
-		}
-		b := math.Inf(1)
-		for i := range open {
-			if open[i].bound < b {
-				b = open[i].bound
-			}
-		}
-		return b
-	}
-
-	xbuf := make([]float64, n)
-
-	for len(open) > 0 {
-		if res.Nodes >= opt.MaxNodes || expired() {
-			break
-		}
-		// Node selection: mostly LIFO (dive), every 16th node best-bound.
-		pick := len(open) - 1
-		if res.Nodes%16 == 15 {
-			for i := range open {
-				if open[i].bound < open[pick].bound {
-					pick = i
-				}
-			}
-		}
-		nd := open[pick]
-		open = append(open[:pick], open[pick+1:]...)
-
-		// Prune against incumbent.
-		if nd.bound >= incObj-opt.AbsGap {
-			continue
-		}
-
-		// Apply node bounds.
-		for j := 0; j < n; j++ {
-			m.prob.SetBounds(j, rootLo[j], rootUp[j])
-		}
-		infeasBound := false
-		for _, bc := range nd.changes {
-			lo, up := bc.lo, bc.up
-			if up < lo {
-				infeasBound = true
-				break
-			}
-			m.prob.SetBounds(bc.v, lo, up)
-		}
-		if infeasBound {
-			continue
-		}
-
-		sol := solveLP()
-		res.Nodes++
-		if sol.Status == lp.Cancelled {
-			// Put the node back so the final bound still accounts for its
-			// unexplored subtree; the loop exits via expired() above.
-			open = append(open, nd)
-			continue
-		}
-		if sol.Status == lp.Infeasible || sol.Status == lp.IterLimit {
-			continue
-		}
-		if sol.Status == lp.Unbounded {
-			// Integer restrictions cannot repair an unbounded relaxation
-			// in this node's subtree in a way we can detect; skip it.
-			continue
-		}
-		if sol.Objective >= incObj-opt.AbsGap {
-			continue
-		}
-
-		frac := m.mostFractional(sol.X, opt.IntTol)
-		if frac == -1 {
-			// Integral: new incumbent.
-			if sol.Objective < incObj {
-				incObj = sol.Objective
-				incumbent = append(incumbent[:0], sol.X...)
-			}
-			continue
-		}
-
-		// Rounding heuristic: round to nearest integers, verify feasibility.
-		copy(xbuf, sol.X)
-		for j := 0; j < n; j++ {
-			if m.integer[j] {
-				xbuf[j] = math.Round(xbuf[j])
-			}
-		}
-		if m.feasibleIntegral(xbuf, opt.IntTol) {
-			if obj := m.objective(xbuf); obj < incObj {
-				incObj = obj
-				incumbent = append(incumbent[:0], xbuf...)
-			}
-		}
-		// Periodic heuristics from this node's relaxation (bounds are still
-		// the node's at this point) to refresh the incumbent.
-		if res.Nodes%16 == 1 {
-			roundRepairComplete(sol.X)
-		}
-		if res.Nodes%64 == 33 {
-			dive(sol.X, 0.5)
-		}
-
-		// Branch on the most fractional variable.
-		v := frac
-		fv := sol.X[v]
-		floorUp := math.Floor(fv + opt.IntTol)
-		ceilLo := math.Ceil(fv - opt.IntTol)
-		if ceilLo <= floorUp { // numerically integral; nudge
-			ceilLo = floorUp + 1
-		}
-		loV, upV := nodeBounds(nd, v, rootLo[v], rootUp[v])
-
-		up := node{
-			changes: appendChange(nd.changes, boundChange{v, ceilLo, upV}),
-			bound:   sol.Objective,
-			depth:   nd.depth + 1,
-		}
-		down := node{
-			changes: appendChange(nd.changes, boundChange{v, loV, floorUp}),
-			bound:   sol.Objective,
-			depth:   nd.depth + 1,
-		}
-		// Dive toward the nearer integer first (pushed last = popped first).
-		if fv-floorUp < ceilLo-fv {
-			open = append(open, up, down)
-		} else {
-			open = append(open, down, up)
-		}
-	}
-
-	// Final polish: restore root bounds and re-run the repair heuristic on
-	// the incumbent. Node incumbents found mid-search never saw it, and it
-	// often closes residual soft-penalty slack.
-	if incumbent != nil {
-		for j := 0; j < n; j++ {
-			m.prob.SetBounds(j, rootLo[j], rootUp[j])
-		}
-		roundRepairComplete(incumbent)
-	}
-
-	res.Bound = math.Min(bestBound(), incObj)
-	if incumbent == nil {
-		if len(open) == 0 && !timedOut && !cancelled && res.Nodes < opt.MaxNodes {
-			res.Status = Infeasible
-		} else {
-			res.Status = NoSolution
-		}
-		return res
-	}
-	res.Objective = incObj + m.objOffset
-	res.Bound += m.objOffset
-	res.X = incumbent
-	gap := incObj + m.objOffset - res.Bound
-	rel := gap / (1 + math.Abs(res.Objective))
-	if len(open) == 0 || gap <= opt.AbsGap || (opt.RelGap > 0 && rel <= opt.RelGap) {
-		res.Status = Optimal
-		if len(open) == 0 {
-			res.Bound = res.Objective
-		}
-	} else if cancelled {
-		res.Status = Cancelled
+	var res Result
+	if opt.Workers > 1 {
+		res = m.solveParallel(e)
 	} else {
-		res.Status = Feasible
+		res = m.solveSerial(e)
 	}
+	e.fillStats(&res)
+	res.Workers = opt.Workers
+	res.SolveTime = time.Since(start)
+
+	metrics.Solver.Solves.Add(1)
+	metrics.Solver.WorkersUsed.Add(int64(opt.Workers))
+	metrics.Solver.NodesExplored.Add(int64(res.Nodes))
+	metrics.Solver.IncumbentUpdates.Add(int64(res.IncumbentUpdates))
+	metrics.Solver.HeuristicWins.Add(int64(res.HeuristicWins))
 	return res
 }
 
@@ -1107,10 +451,17 @@ func (m *Model) objective(x []float64) float64 {
 	return obj
 }
 
-// feasibleIntegral reports whether x satisfies every constraint, all bounds,
-// and integrality within tol.
+// feasibleIntegral reports whether x satisfies every constraint, the
+// model's current bounds, and integrality within tol.
 func (m *Model) feasibleIntegral(x []float64, tol float64) bool {
-	if len(x) != m.prob.NumVars() {
+	return m.feasibleIntegralIn(&m.prob, x, tol)
+}
+
+// feasibleIntegralIn is feasibleIntegral evaluated against the bounds of an
+// explicit problem copy — the worker-local scratch of a parallel search,
+// whose bounds may be tightened independently of the model's own problem.
+func (m *Model) feasibleIntegralIn(p *lp.Problem, x []float64, tol float64) bool {
+	if len(x) != p.NumVars() {
 		return false
 	}
 	ftol := 1e-6
@@ -1118,7 +469,7 @@ func (m *Model) feasibleIntegral(x []float64, tol float64) bool {
 		if math.IsNaN(x[j]) {
 			return false
 		}
-		lo, up := m.prob.Bounds(j)
+		lo, up := p.Bounds(j)
 		if x[j] < lo-ftol || x[j] > up+ftol {
 			return false
 		}

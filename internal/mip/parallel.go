@@ -1,0 +1,256 @@
+package mip
+
+// Parallel branch-and-bound driver (Options.Workers > 1): a shared open
+// list feeds a pool of worker goroutines, each with its own lp.Problem
+// clone and warm-basis chain, while the root primal heuristics race on
+// separate clones to seed the shared incumbent. The incumbent publication
+// protocol and bound-soundness argument are documented in DESIGN.md
+// ("Parallel solving").
+
+import (
+	"math"
+	"sync"
+
+	"ras/internal/lp"
+)
+
+// nodePool is the shared open-node list of the parallel search. Selection
+// follows the serial policy (LIFO dives with every-16th best-bound pick,
+// keyed on the pop sequence number). The pool tracks the bound of every
+// node a worker currently holds so the global bound — min over open nodes
+// AND in-flight nodes — never overstates what has been proven: a popped
+// node's subtree is unexplored until the worker pushes its children.
+type nodePool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	open     []node
+	inflight map[int]float64 // worker id → bound of the node being expanded
+	popped   int             // pop sequence number (drives best-bound picks)
+	closed   bool            // stop: node/time limit reached or cancelled
+}
+
+func newNodePool(root node) *nodePool {
+	p := &nodePool{open: []node{root}, inflight: map[int]float64{}}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// pop hands worker w the next node, blocking while the list is empty but
+// other workers still hold nodes whose children may arrive. It returns
+// false when the search is over: limits hit, cancelled, or the tree is
+// exhausted (no open nodes and no in-flight workers).
+func (p *nodePool) pop(w int, e *engine) (node, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if !p.closed && (int(e.nodes.Load()) >= e.opt.MaxNodes || e.expired()) {
+			p.closed = true
+			p.cond.Broadcast()
+		}
+		if p.closed {
+			return node{}, false
+		}
+		if len(p.open) > 0 {
+			pick := len(p.open) - 1
+			if p.popped%16 == 15 {
+				for i := range p.open {
+					if p.open[i].bound < p.open[pick].bound {
+						pick = i
+					}
+				}
+			}
+			p.popped++
+			nd := p.open[pick]
+			p.open = append(p.open[:pick], p.open[pick+1:]...)
+			p.inflight[w] = nd.bound
+			return nd, true
+		}
+		if len(p.inflight) == 0 {
+			p.cond.Broadcast() // drained: wake every waiter so all exit
+			return node{}, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// finish returns worker w's results: its children join the open list (even
+// after close, so the final bound accounts for their subtrees) and the
+// worker's in-flight claim is released.
+func (p *nodePool) finish(w int, children []node) {
+	p.mu.Lock()
+	p.open = append(p.open, children...)
+	delete(p.inflight, w)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// bestBound reports the minimum bound over open and in-flight nodes — the
+// best objective any unexplored subtree could still reach. With nothing
+// outstanding it returns the incumbent objective, matching the serial
+// driver's convention.
+func (p *nodePool) bestBound(e *engine) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := math.Inf(1)
+	for i := range p.open {
+		if p.open[i].bound < b {
+			b = p.open[i].bound
+		}
+	}
+	for _, v := range p.inflight {
+		if v < b {
+			b = v
+		}
+	}
+	if math.IsInf(b, 1) {
+		return e.bestObj()
+	}
+	return b
+}
+
+// remaining reports the number of unexplored open nodes.
+func (p *nodePool) remaining() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.open)
+}
+
+// processNode expands one node on the worker's private search state: prune,
+// solve the relaxation, offer integral/rounded incumbents, run the periodic
+// node heuristics, and branch. It returns the children to push (nil when
+// pruned or fathomed) and whether the node must be requeued because its LP
+// was cancelled mid-solve (its subtree is unexplored and must stay in the
+// bound).
+func (s *search) processNode(nd node) (children []node, requeue bool) {
+	m, e := s.m, s.e
+	opt := e.opt
+
+	// Prune against the shared incumbent. A stale read is harmless: the
+	// incumbent only improves, so the worst case is one extra LP solve.
+	if nd.bound >= e.bestObj()-opt.AbsGap {
+		return nil, false
+	}
+	if !s.applyNodeBounds(nd) {
+		return nil, false
+	}
+
+	sol := s.solveLP()
+	myNode := e.nodes.Add(1)
+	if sol.Status == lp.Cancelled {
+		return nil, true
+	}
+	if sol.Status == lp.Infeasible || sol.Status == lp.IterLimit || sol.Status == lp.Unbounded {
+		return nil, false
+	}
+	if sol.Objective >= e.bestObj()-opt.AbsGap {
+		return nil, false
+	}
+
+	frac := m.mostFractional(sol.X, opt.IntTol)
+	if frac == -1 {
+		e.offer(sol.X, sol.Objective, false)
+		return nil, false
+	}
+
+	// Rounding heuristic: round to nearest integers, verify feasibility.
+	copy(s.xbuf, sol.X)
+	for j := 0; j < e.n; j++ {
+		if m.integer[j] {
+			s.xbuf[j] = math.Round(s.xbuf[j])
+		}
+	}
+	if m.feasibleIntegralIn(s.prob, s.xbuf, opt.IntTol) {
+		e.offer(s.xbuf, m.objective(s.xbuf), false)
+	}
+	// Periodic heuristics, on the serial schedule keyed to the global node
+	// counter (bounds are still the node's at this point).
+	if myNode%16 == 1 {
+		s.roundRepairComplete(sol.X)
+	}
+	if myNode%64 == 33 {
+		s.dive(sol.X, 0.5)
+	}
+
+	first, second := s.branch(nd, frac, sol.X[frac], sol.Objective)
+	return []node{first, second}, false
+}
+
+// solveParallel is the Workers>1 branch-and-bound driver. The root
+// relaxation solves once on the model's own problem; its exported basis
+// then warm-starts every worker and heuristic goroutine (package lp copies
+// a Basis on import and export, so sharing the pointer read-only is safe).
+// Root heuristics race the B&B workers to seed the shared incumbent.
+func (m *Model) solveParallel(e *engine) Result {
+	opt := e.opt
+	res := Result{Status: NoSolution, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	root := newSearch(e, &m.prob, nil)
+
+	rootSol := root.solveLP()
+	if e.handleRootStatus(&res, rootSol) {
+		return res
+	}
+	res.Bound = rootSol.Objective
+
+	pool := newNodePool(node{bound: rootSol.Objective})
+	var wg sync.WaitGroup
+
+	if m.mostFractional(rootSol.X, opt.IntTol) != -1 {
+		// The serial root schedule runs these one after another; here they
+		// race each other and the workers. Each goroutine gets its own
+		// problem clone, so its temporary bound fixes never leak. The dives
+		// poll expired() per depth, so cancellation stays prompt.
+		rootX := rootSol.X
+		heuristics := []func(hs *search){
+			func(hs *search) { hs.roundRepairComplete(rootX) },
+			func(hs *search) { hs.dive(rootX, 0.5) },
+			func(hs *search) { hs.dive(rootX, 0.3) },
+			func(hs *search) {
+				// The serial schedule retries with cold LPs only when the
+				// warm dives leave a large gap; racing, the cold dive is
+				// simply a fourth independent shot at a different vertex.
+				hs.forceCold = true
+				hs.dive(rootX, 0.5)
+			},
+		}
+		for _, h := range heuristics {
+			hs := newSearch(e, m.prob.Clone(), rootSol.Basis)
+			wg.Add(1)
+			go func(h func(*search), hs *search) {
+				defer wg.Done()
+				h(hs)
+			}(h, hs)
+		}
+	}
+
+	for w := 0; w < opt.Workers; w++ {
+		ws := newSearch(e, m.prob.Clone(), rootSol.Basis)
+		wg.Add(1)
+		go func(w int, ws *search) {
+			defer wg.Done()
+			for {
+				nd, ok := pool.pop(w, e)
+				if !ok {
+					return
+				}
+				children, requeue := ws.processNode(nd)
+				if requeue {
+					children = append(children, nd)
+				}
+				pool.finish(w, children)
+			}
+		}(w, ws)
+	}
+	wg.Wait()
+
+	// Final polish at root bounds on the model's own problem (all workers
+	// have joined; no clone can race it).
+	if inc, _ := e.incumbentCopy(); inc != nil {
+		for j := 0; j < e.n; j++ {
+			root.prob.SetBounds(j, e.rootLo[j], e.rootUp[j])
+		}
+		root.warmBasis = rootSol.Basis
+		root.roundRepairComplete(inc)
+	}
+
+	return e.finalResult(res, pool.bestBound(e), pool.remaining())
+}

@@ -1,0 +1,876 @@
+package mip
+
+// This file holds the solve engine shared by the serial and parallel
+// branch-and-bound drivers: the per-solve shared state (incumbent, stop
+// flags, statistics, root bounds) and the per-goroutine search scratch
+// (problem copy, warm basis, heuristics). The serial driver solveSerial
+// reproduces the pre-parallel algorithm exactly — same node order, same
+// heuristic schedule, same LP sequence — so Workers=1 results are
+// bit-for-bit identical to the historical single-threaded solver.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ras/internal/lp"
+)
+
+// engine is the state shared by every search goroutine of one Solve call.
+// All fields set in newEngine are immutable for the duration of the solve;
+// the incumbent is guarded by incMu, the statistics are atomics, and the
+// stop flags are sticky atomics so any goroutine can observe an expiry
+// another one detected.
+type engine struct {
+	m     *Model
+	opt   Options
+	ctx   context.Context
+	lpOpt lp.Options
+
+	n       int
+	rootLo  []float64
+	rootUp  []float64
+	contMin []float64 // per-row reachable continuous activity, lower side
+	contMax []float64 // upper side
+
+	deadline time.Time
+
+	timedOut  atomic.Bool
+	cancelled atomic.Bool
+
+	// Shared incumbent, published improve-only under incMu: offer only ever
+	// replaces it with a strictly better point, so concurrent readers see a
+	// monotonically improving bound and a worker racing a stale snapshot
+	// can at worst miss a prune, never corrupt the incumbent.
+	incMu      sync.Mutex
+	incumbent  []float64
+	incObj     float64 // objective without objOffset, +Inf when none
+	incUpdates int
+	heurWins   int
+
+	nodes       atomic.Int64
+	lpSolves    atomic.Int64
+	lpIters     atomic.Int64
+	lpDualIters atomic.Int64
+	lpLimited   atomic.Int64
+}
+
+func newEngine(ctx context.Context, m *Model, opt Options, start time.Time) *engine {
+	e := &engine{
+		m:      m,
+		opt:    opt,
+		ctx:    ctx,
+		lpOpt:  lp.Options{MaxIter: opt.LPIterLimit},
+		n:      m.prob.NumVars(),
+		incObj: math.Inf(1),
+	}
+
+	// Save root bounds so the model is unchanged after Solve and so node
+	// bound changes have a fixed base to apply against.
+	e.rootLo = make([]float64, e.n)
+	e.rootUp = make([]float64, e.n)
+	for j := 0; j < e.n; j++ {
+		e.rootLo[j], e.rootUp[j] = m.prob.Bounds(j)
+	}
+
+	if opt.TimeLimit > 0 {
+		e.deadline = start.Add(opt.TimeLimit)
+	}
+
+	// Build the lazy column index up front: parallel searches share it
+	// read-only, so a lazy rebuild mid-search would race.
+	m.buildColIndex()
+
+	// Continuous contribution range per row: with integer variables pinned,
+	// how much can the row's continuous members still move the activity?
+	// Pure-integer rows have a zero range; rows with an unbounded envelope
+	// or free slack have an infinite side and never bind the guard there.
+	e.contMin = make([]float64, len(m.rows))
+	e.contMax = make([]float64, len(m.rows))
+	for i, row := range m.rows {
+		for _, nz := range row {
+			if m.integer[nz.Index] {
+				continue
+			}
+			lo, up := m.prob.Bounds(nz.Index)
+			a, b := nz.Value*lo, nz.Value*up
+			if a > b {
+				a, b = b, a
+			}
+			e.contMin[i] += a
+			e.contMax[i] += b
+		}
+	}
+
+	// Seed the incumbent from the warm-start point when valid.
+	if m.initial != nil && m.feasibleIntegral(m.initial, opt.IntTol) {
+		e.incumbent = append([]float64(nil), m.initial...)
+		e.incObj = m.objective(e.incumbent)
+	}
+	return e
+}
+
+// restoreRootBounds resets the model's own problem to its root bounds so the
+// model is unchanged after Solve.
+func (e *engine) restoreRootBounds() {
+	for j := 0; j < e.n; j++ {
+		e.m.prob.SetBounds(j, e.rootLo[j], e.rootUp[j])
+	}
+}
+
+// expired reports whether the solve should stop, distinguishing a time
+// budget running out (TimeLimit or ctx deadline → timedOut → Feasible) from
+// an explicit cancellation (→ cancelled → Cancelled). Both flags are sticky.
+func (e *engine) expired() bool {
+	if e.timedOut.Load() || e.cancelled.Load() {
+		return true
+	}
+	switch e.ctx.Err() {
+	case nil:
+	case context.DeadlineExceeded:
+		e.timedOut.Store(true)
+		return true
+	default:
+		e.cancelled.Store(true)
+		return true
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.timedOut.Store(true)
+	}
+	return e.timedOut.Load()
+}
+
+// bestObj reads the shared incumbent objective (+Inf when none).
+func (e *engine) bestObj() float64 {
+	e.incMu.Lock()
+	v := e.incObj
+	e.incMu.Unlock()
+	return v
+}
+
+// offer publishes x as a candidate incumbent with objective obj
+// (offset-free). Updates are monotone improve-only: a strictly better
+// objective replaces the incumbent, anything else is discarded, so racing
+// offers can never regress the shared solution. heuristic attributes the
+// improvement to a primal heuristic (vs. an integral node LP) for the
+// HeuristicWins statistic. Reports whether x became the incumbent.
+func (e *engine) offer(x []float64, obj float64, heuristic bool) bool {
+	e.incMu.Lock()
+	defer e.incMu.Unlock()
+	if obj >= e.incObj {
+		return false
+	}
+	e.incObj = obj
+	e.incumbent = append(e.incumbent[:0], x...)
+	e.incUpdates++
+	if heuristic {
+		e.heurWins++
+	}
+	return true
+}
+
+// incumbentCopy snapshots the shared incumbent (nil when none exists).
+func (e *engine) incumbentCopy() ([]float64, float64) {
+	e.incMu.Lock()
+	defer e.incMu.Unlock()
+	if e.incumbent == nil {
+		return nil, e.incObj
+	}
+	return append([]float64(nil), e.incumbent...), e.incObj
+}
+
+// fillStats copies the engine's accumulated statistics into res.
+func (e *engine) fillStats(res *Result) {
+	res.Nodes = int(e.nodes.Load())
+	res.LPSolves = int(e.lpSolves.Load())
+	res.LPIters = int(e.lpIters.Load())
+	res.LPDualIters = int(e.lpDualIters.Load())
+	res.LPLimited = int(e.lpLimited.Load())
+	e.incMu.Lock()
+	res.IncumbentUpdates = e.incUpdates
+	res.HeuristicWins = e.heurWins
+	e.incMu.Unlock()
+}
+
+// handleRootStatus maps a non-Optimal root relaxation status onto a final
+// Result, shared verbatim by the serial and parallel drivers. It reports
+// whether res is final.
+func (e *engine) handleRootStatus(res *Result, rootSol lp.Solution) bool {
+	switch rootSol.Status {
+	case lp.Infeasible:
+		if inc, incObj := e.incumbentCopy(); inc != nil {
+			// The warm start satisfies every row by direct evaluation, so an
+			// infeasible relaxation is numerical noise; keep the incumbent.
+			res.Status = Feasible
+			res.Objective = incObj + e.m.objOffset
+			res.Bound = math.Inf(-1)
+			res.X = inc
+			return true
+		}
+		res.Status = Infeasible
+		return true
+	case lp.Unbounded:
+		res.Status = Unbounded
+		return true
+	case lp.IterLimit, lp.Cancelled:
+		inc, incObj := e.incumbentCopy()
+		if inc == nil {
+			res.Status = NoSolution
+			return true
+		}
+		res.Status = Feasible
+		if rootSol.Status == lp.Cancelled && e.ctx.Err() != context.DeadlineExceeded {
+			res.Status = Cancelled
+		}
+		res.Objective = incObj + e.m.objOffset
+		res.Bound = math.Inf(-1)
+		res.X = inc
+		return true
+	}
+	return false
+}
+
+// search is the per-goroutine solve scratch: a problem whose bounds this
+// goroutine may mutate freely (the model's own problem for the serial
+// driver and the root of the parallel one; a Clone for every worker and
+// heuristic goroutine), plus the goroutine-local LP warm-start basis.
+// Nothing in a search is shared across goroutines; everything shared lives
+// in the engine.
+type search struct {
+	m         *Model
+	e         *engine
+	prob      *lp.Problem
+	warmBasis *lp.Basis
+	forceCold bool
+	xbuf      []float64
+}
+
+func newSearch(e *engine, prob *lp.Problem, warm *lp.Basis) *search {
+	return &search{m: e.m, e: e, prob: prob, warmBasis: warm, xbuf: make([]float64, e.n)}
+}
+
+// solveLP solves the search's problem, maintaining the goroutine-local
+// warm-start basis chain: every optimal LP exports its basis, and every
+// subsequent LP of this search starts from the most recent one. Bound
+// changes between solves are absorbed by dual-simplex repair in package lp.
+func (s *search) solveLP() lp.Solution {
+	o := s.e.lpOpt
+	o.Start = s.warmBasis
+	if noWarm || s.forceCold || s.e.opt.NoWarmStart {
+		o.Start = nil
+	}
+	sol := s.prob.Solve(s.e.ctx, o)
+	s.e.lpSolves.Add(1)
+	s.e.lpIters.Add(int64(sol.Iterations))
+	s.e.lpDualIters.Add(int64(sol.DualIters))
+	if sol.Status == lp.IterLimit {
+		s.e.lpLimited.Add(1)
+	}
+	if sol.Basis != nil {
+		s.warmBasis = sol.Basis
+	}
+	return sol
+}
+
+// newIntAct computes the integer-variable activity of every row at xi.
+func (m *Model) newIntAct(xi []float64) []float64 {
+	act := make([]float64, len(m.rows))
+	for i, row := range m.rows {
+		for _, nz := range row {
+			if m.integer[nz.Index] {
+				act[i] += nz.Value * xi[nz.Index]
+			}
+		}
+	}
+	return act
+}
+
+// guardBlocked reports the first row that changing integer variable j by
+// delta would make unsatisfiable by ANY continuous completion, or -1: the
+// completion LP cannot repair a row whose integer part has moved beyond the
+// reach of its continuous members.
+func (s *search) guardBlocked(act []float64, j int, delta float64) int {
+	m, e := s.m, s.e
+	for _, ri := range m.colRows[j] {
+		i := ri.row
+		na := act[i] + ri.coef*delta
+		switch m.senses[i] {
+		case LE:
+			if na+e.contMin[i] > m.rhs[i]+1e-9 {
+				return i
+			}
+		case GE:
+			if na+e.contMax[i] < m.rhs[i]-1e-9 {
+				return i
+			}
+		case EQ:
+			if na+e.contMin[i] > m.rhs[i]+1e-9 || na+e.contMax[i] < m.rhs[i]-1e-9 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func (s *search) guardOK(act []float64, j int, delta float64) bool {
+	return s.guardBlocked(act, j, delta) == -1
+}
+
+func (s *search) applyDelta(act, xi []float64, j int, delta float64) {
+	xi[j] += delta
+	for _, ri := range s.m.colRows[j] {
+		act[ri.row] += ri.coef * delta
+	}
+}
+
+// guardedRound rounds integer variable j in xi to an integer, preferring
+// the warm-start value when it brackets the fractional point (rounding
+// toward the incumbent avoids gratuitous deviation — e.g. spurious server
+// moves in the RAS model), then the nearest value, falling back to the
+// other side when pure-integer rows would be violated.
+func (s *search) guardedRound(act, xi []float64, j int) bool {
+	m := s.m
+	lo, up := s.prob.Bounds(j)
+	floor, ceil := math.Floor(xi[j]), math.Ceil(xi[j])
+	frac := xi[j] - floor
+	first, second := floor, ceil
+	if frac > 0.5 {
+		first, second = second, first
+	}
+	// Anchor toward the warm start only when the fractional point is
+	// genuinely ambiguous; strong fractional pulls (e.g. capacity fills)
+	// must win over stability.
+	if m.initial != nil && j < len(m.initial) && frac > 0.35 && frac < 0.65 {
+		if iv := m.initial[j]; iv == floor || iv == ceil {
+			first, second = iv, floor+ceil-iv
+		}
+	}
+	for _, v := range [2]float64{first, second} {
+		if v < lo-1e-9 || v > up+1e-9 {
+			continue
+		}
+		if s.guardOK(act, j, v-xi[j]) {
+			s.applyDelta(act, xi, j, v-xi[j])
+			return true
+		}
+	}
+	return false
+}
+
+// completeLP fixes every integer variable to the values in xi, solves the
+// LP over the remaining continuous variables, and offers the result as an
+// incumbent on success. It restores all bounds before returning.
+func (s *search) completeLP(xi []float64) bool {
+	m, e, n := s.m, s.e, s.e.n
+	type saved struct {
+		v      int
+		lo, up float64
+	}
+	var undo []saved
+	ok := true
+	for j := 0; j < n && ok; j++ {
+		if !m.integer[j] {
+			continue
+		}
+		lo, up := s.prob.Bounds(j)
+		v := math.Round(xi[j])
+		if v < lo || v > up {
+			ok = false
+			break
+		}
+		undo = append(undo, saved{j, lo, up})
+		s.prob.SetBounds(j, v, v)
+	}
+	improved := false
+	if ok {
+		sol := s.solveLP()
+		if sol.Status == lp.Optimal {
+			x := sol.X
+			for j := 0; j < n; j++ {
+				if m.integer[j] {
+					x[j] = math.Round(x[j])
+				}
+			}
+			if m.feasibleIntegralIn(s.prob, x, e.opt.IntTol) {
+				improved = e.offer(x, m.objective(x), true)
+			}
+		}
+	}
+	for i := len(undo) - 1; i >= 0; i-- {
+		s.prob.SetBounds(undo[i].v, undo[i].lo, undo[i].up)
+	}
+	return improved
+}
+
+// roundRepairComplete is the primary primal heuristic: round integer
+// variables to nearest, repair violated rows by nudging integer variables
+// (guarding rows made purely of integer variables, like the RAS assignment
+// constraints, whose feasibility the completion LP cannot restore), then
+// let completeLP settle the continuous variables. Two LP solves total
+// regardless of problem size.
+func (s *search) roundRepairComplete(seed []float64) bool {
+	m, n := s.m, s.e.n
+	xi := append([]float64(nil), seed...)
+	for v := range m.penalty {
+		xi[v] = 0 // expose soft violations to the repair pass
+	}
+	act := m.newIntAct(xi)
+	// Guarded rounding in order of decreasing value keeps big counts
+	// stable and lets small fractional ones absorb the adjustment.
+	order := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		if m.integer[j] {
+			order = append(order, j)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return xi[order[a]] > xi[order[b]] })
+	for _, j := range order {
+		if !s.guardedRound(act, xi, j) {
+			return false // pure-integer rows unsatisfiable by rounding
+		}
+	}
+
+	// Repair pass over mixed rows: with continuous variables at seed
+	// values, bump zero-cost integer variables (guarded) to close
+	// violations that rounding introduced — e.g. refill capacity lost
+	// to rounded-down counts.
+	for pass := 0; pass < 4; pass++ {
+		dirty := false
+		for i, row := range m.rows {
+			if m.intOnlyRows[i] {
+				continue // kept feasible by the guard
+			}
+			lhs := 0.0
+			for _, nz := range row {
+				lhs += nz.Value * xi[nz.Index]
+			}
+			var need float64
+			switch m.senses[i] {
+			case LE:
+				if lhs > m.rhs[i]+1e-7 {
+					need = m.rhs[i] - lhs
+				}
+			case GE:
+				if lhs < m.rhs[i]-1e-7 {
+					need = m.rhs[i] - lhs
+				}
+			case EQ:
+				if math.Abs(lhs-m.rhs[i]) > 1e-7 {
+					need = m.rhs[i] - lhs
+				}
+			}
+			if need == 0 {
+				continue
+			}
+			// Round-robin unit bumps across DISTINCT row variables: the
+			// members usually span fault domains, and spreading the
+			// bumps avoids inflating a max-per-domain envelope variable
+			// that would cancel the gain. For the same reason,
+			// inequality repairs overshoot by one unit: a single bump
+			// can be eaten entirely by an envelope in its own domain.
+			if m.senses[i] != EQ {
+				need += 2 * sign(need)
+			}
+			bumped := map[int]bool{}
+			for cycle := 0; cycle < 64 && math.Abs(need) > 1e-9; cycle++ {
+				moved := false
+				for _, nz := range row {
+					j := nz.Index
+					if !m.integer[j] || nz.Value == 0 || m.cost[j] != 0 || bumped[j] {
+						continue
+					}
+					step := sign(need) * sign(nz.Value)
+					lo, up := s.prob.Bounds(j)
+					if xi[j]+step < lo-1e-9 || xi[j]+step > up+1e-9 || !s.guardOK(act, j, step) {
+						continue
+					}
+					s.applyDelta(act, xi, j, step)
+					bumped[j] = true
+					need -= step * nz.Value
+					dirty = true
+					moved = true
+					if math.Abs(need) <= 1e-9 || math.Signbit(need) != math.Signbit(need+step*nz.Value) {
+						need = 0
+						break
+					}
+				}
+				if !moved {
+					break
+				}
+				if len(bumped) >= len(row) {
+					bumped = map[int]bool{}
+				}
+			}
+		}
+		if !dirty {
+			break
+		}
+	}
+	return s.completeLP(xi)
+}
+
+// dive runs the diving primal heuristic from an LP-feasible fractional
+// point: repeatedly fix integer variables that are already (nearly)
+// integral plus a batch of the most fractional ones to rounded values, then
+// re-solve the LP until the point is integral or infeasible. It offers the
+// incumbent on success and restores all bounds before returning.
+func (s *search) dive(seed []float64, bias float64) {
+	m, e, n := s.m, s.e, s.e.n
+	x := append([]float64(nil), seed...)
+	// Temporary bound changes to undo afterwards.
+	type saved struct {
+		v      int
+		lo, up float64
+	}
+	var undo []saved
+	rollback := func(to int) {
+		for i := len(undo) - 1; i >= to; i-- {
+			s.prob.SetBounds(undo[i].v, undo[i].lo, undo[i].up)
+		}
+		undo = undo[:to]
+	}
+	defer func() { rollback(0) }()
+	fixed := make([]bool, n)
+	for depth := 0; depth < n+1; depth++ {
+		if e.expired() {
+			return
+		}
+		act := m.newIntAct(x)
+		// fix pins variable j to a guarded rounding of its value.
+		fix := func(j int) bool {
+			lo, up := s.prob.Bounds(j)
+			f := x[j] - math.Floor(x[j])
+			if f > bias && f < 1 {
+				x[j] = math.Min(up, math.Ceil(x[j])) - 1e-9
+			}
+			if !s.guardedRound(act, x, j) {
+				return false
+			}
+			undo = append(undo, saved{j, lo, up})
+			s.prob.SetBounds(j, x[j], x[j])
+			fixed[j] = true
+			return true
+		}
+		// Fix near-integral variables in bulk, then a batch of the most
+		// fractional ones (warm-started dual repair keeps LP rounds
+		// cheap). A per-variable guard cannot see joint effects through
+		// coupled continuous variables (e.g. max-envelopes), so when a
+		// batch lands infeasible we roll it back and retry one variable
+		// at a time.
+		type fc struct {
+			j int
+			d float64
+		}
+		var fracs []fc
+		progress := false
+		checkpoint := len(undo)
+		var xcheck []float64
+		for j := 0; j < n; j++ {
+			if !m.integer[j] || fixed[j] {
+				continue
+			}
+			f := x[j] - math.Floor(x[j])
+			d := math.Min(f, 1-f)
+			if d <= 0.01 {
+				if fix(j) {
+					progress = true
+				}
+			} else {
+				fracs = append(fracs, fc{j, d})
+			}
+		}
+		if len(fracs) == 0 {
+			if !progress {
+				break
+			}
+		} else {
+			sort.Slice(fracs, func(a, b int) bool { return fracs[a].d > fracs[b].d })
+			xcheck = append([]float64(nil), x...)
+			batch := len(fracs)/8 + 1
+			fixedAny := false
+			for _, f := range fracs[:batch] {
+				if fix(f.j) {
+					fixedAny = true
+				}
+			}
+			if !fixedAny && !progress {
+				if debugDive {
+					fmt.Printf("DIVE stuck at depth %d (%d fracs)\n", depth, len(fracs))
+				}
+				return
+			}
+		}
+		sol := s.solveLP()
+		if sol.Status != lp.Optimal && len(fracs) > 0 {
+			// Batch overshot a coupled constraint: retry with a single
+			// most-fractional fix from the checkpoint.
+			rollback(checkpoint)
+			copy(x, xcheck)
+			for _, f := range fracs {
+				fixed[f.j] = false
+			}
+			act = m.newIntAct(x)
+			if !fix(fracs[0].j) {
+				return
+			}
+			sol = s.solveLP()
+		}
+		if sol.Status != lp.Optimal {
+			if debugDive {
+				fmt.Printf("DIVE abort: LP %v at depth %d\n", sol.Status, depth)
+			}
+			return // infeasible dive; give up
+		}
+		x = sol.X
+		if m.mostFractional(x, e.opt.IntTol) == -1 {
+			// Snap integers exactly and accept if feasible.
+			for j := 0; j < n; j++ {
+				if m.integer[j] {
+					x[j] = math.Round(x[j])
+				}
+			}
+			if debugDive && !m.feasibleIntegralIn(s.prob, x, e.opt.IntTol) {
+				fmt.Printf("DIVE end: integral but infeasible\n")
+			}
+			if m.feasibleIntegralIn(s.prob, x, e.opt.IntTol) {
+				e.offer(x, m.objective(x), true)
+			}
+			return
+		}
+	}
+}
+
+// applyNodeBounds resets the search's problem to root bounds and applies
+// nd's bound changes in order. It reports false when the changes cross
+// (lo > up), i.e. the node is trivially infeasible.
+func (s *search) applyNodeBounds(nd node) bool {
+	e := s.e
+	for j := 0; j < e.n; j++ {
+		s.prob.SetBounds(j, e.rootLo[j], e.rootUp[j])
+	}
+	for _, bc := range nd.changes {
+		if bc.up < bc.lo {
+			return false
+		}
+		s.prob.SetBounds(bc.v, bc.lo, bc.up)
+	}
+	return true
+}
+
+// branch splits nd on its most fractional variable v at value fv, returning
+// the two children ordered so that the near-integer side is LAST (pushed
+// last = popped first under LIFO selection).
+func (s *search) branch(nd node, v int, fv, objective float64) (first, second node) {
+	e := s.e
+	floorUp := math.Floor(fv + e.opt.IntTol)
+	ceilLo := math.Ceil(fv - e.opt.IntTol)
+	if ceilLo <= floorUp { // numerically integral; nudge
+		ceilLo = floorUp + 1
+	}
+	loV, upV := nodeBounds(nd, v, e.rootLo[v], e.rootUp[v])
+
+	up := node{
+		changes: appendChange(nd.changes, boundChange{v, ceilLo, upV}),
+		bound:   objective,
+		depth:   nd.depth + 1,
+	}
+	down := node{
+		changes: appendChange(nd.changes, boundChange{v, loV, floorUp}),
+		bound:   objective,
+		depth:   nd.depth + 1,
+	}
+	// Dive toward the nearer integer first.
+	if fv-floorUp < ceilLo-fv {
+		return up, down
+	}
+	return down, up
+}
+
+// rootHeuristics runs the serial root-node primal heuristic schedule from
+// the fractional root relaxation: round/repair/complete, a nearest-rounding
+// dive, then gap-dependent retries (an up-biased dive and a cold-started
+// dive) and a final repair polish of the incumbent.
+func (s *search) rootHeuristics(rootSol lp.Solution) {
+	e := s.e
+	s.roundRepairComplete(rootSol.X)
+	s.dive(rootSol.X, 0.5)
+	// A second, up-biased dive targets residual shortfalls that the
+	// nearest-rounding dive strands (soft capacity slack).
+	if e.bestObj()-rootSol.Objective > math.Max(10*e.opt.AbsGap, 0.05*math.Abs(e.bestObj())) {
+		s.dive(rootSol.X, 0.3)
+	}
+	// Warm-started LPs revisit vertices whose roundings can be brittle
+	// on tightly-coupled instances; if the dives have not closed most
+	// of the gap, retry once with cold LPs, which reach different
+	// (often friendlier) vertices.
+	if e.bestObj()-rootSol.Objective > math.Max(10*e.opt.AbsGap, 0.05*math.Abs(e.bestObj())) {
+		s.forceCold = true
+		s.dive(rootSol.X, 0.5)
+		s.forceCold = false
+	}
+	// Polish the incumbent with a repair pass; it can close residual
+	// soft-penalty slack that greedy dives strand.
+	if inc, _ := e.incumbentCopy(); inc != nil {
+		s.roundRepairComplete(inc)
+	}
+}
+
+// solveSerial is the Workers=1 branch-and-bound driver: the historical
+// single-threaded algorithm, preserved move for move (node order, heuristic
+// schedule, warm-basis chain) so serial results stay bit-for-bit identical.
+func (m *Model) solveSerial(e *engine) Result {
+	opt := e.opt
+	res := Result{Status: NoSolution, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	s := newSearch(e, &m.prob, nil)
+
+	// Root relaxation.
+	rootSol := s.solveLP()
+	if e.handleRootStatus(&res, rootSol) {
+		return res
+	}
+	res.Bound = rootSol.Objective
+	if m.mostFractional(rootSol.X, opt.IntTol) != -1 {
+		s.rootHeuristics(rootSol)
+	}
+
+	// Open-node pool. Depth-first diving with periodic best-bound selection
+	// keeps memory modest while still improving the global bound.
+	open := []node{{bound: rootSol.Objective}}
+	bestBound := func() float64 {
+		if len(open) == 0 {
+			return e.bestObj()
+		}
+		b := math.Inf(1)
+		for i := range open {
+			if open[i].bound < b {
+				b = open[i].bound
+			}
+		}
+		return b
+	}
+
+	for len(open) > 0 {
+		if int(e.nodes.Load()) >= opt.MaxNodes || e.expired() {
+			break
+		}
+		// Node selection: mostly LIFO (dive), every 16th node best-bound.
+		pick := len(open) - 1
+		if int(e.nodes.Load())%16 == 15 {
+			for i := range open {
+				if open[i].bound < open[pick].bound {
+					pick = i
+				}
+			}
+		}
+		nd := open[pick]
+		open = append(open[:pick], open[pick+1:]...)
+
+		// Prune against incumbent.
+		if nd.bound >= e.bestObj()-opt.AbsGap {
+			continue
+		}
+
+		if !s.applyNodeBounds(nd) {
+			continue
+		}
+
+		sol := s.solveLP()
+		e.nodes.Add(1)
+		if sol.Status == lp.Cancelled {
+			// Put the node back so the final bound still accounts for its
+			// unexplored subtree; the loop exits via expired() above.
+			open = append(open, nd)
+			continue
+		}
+		if sol.Status == lp.Infeasible || sol.Status == lp.IterLimit {
+			continue
+		}
+		if sol.Status == lp.Unbounded {
+			// Integer restrictions cannot repair an unbounded relaxation
+			// in this node's subtree in a way we can detect; skip it.
+			continue
+		}
+		if sol.Objective >= e.bestObj()-opt.AbsGap {
+			continue
+		}
+
+		frac := m.mostFractional(sol.X, opt.IntTol)
+		if frac == -1 {
+			// Integral: new incumbent.
+			e.offer(sol.X, sol.Objective, false)
+			continue
+		}
+
+		// Rounding heuristic: round to nearest integers, verify feasibility.
+		copy(s.xbuf, sol.X)
+		for j := 0; j < e.n; j++ {
+			if m.integer[j] {
+				s.xbuf[j] = math.Round(s.xbuf[j])
+			}
+		}
+		if m.feasibleIntegralIn(s.prob, s.xbuf, opt.IntTol) {
+			e.offer(s.xbuf, m.objective(s.xbuf), false)
+		}
+		// Periodic heuristics from this node's relaxation (bounds are still
+		// the node's at this point) to refresh the incumbent.
+		if int(e.nodes.Load())%16 == 1 {
+			s.roundRepairComplete(sol.X)
+		}
+		if int(e.nodes.Load())%64 == 33 {
+			s.dive(sol.X, 0.5)
+		}
+
+		// Branch on the most fractional variable.
+		first, second := s.branch(nd, frac, sol.X[frac], sol.Objective)
+		open = append(open, first, second)
+	}
+
+	// Final polish: restore root bounds and re-run the repair heuristic on
+	// the incumbent. Node incumbents found mid-search never saw it, and it
+	// often closes residual soft-penalty slack.
+	if inc, _ := e.incumbentCopy(); inc != nil {
+		for j := 0; j < e.n; j++ {
+			s.prob.SetBounds(j, e.rootLo[j], e.rootUp[j])
+		}
+		s.roundRepairComplete(inc)
+	}
+
+	return e.finalResult(res, bestBound(), len(open))
+}
+
+// finalResult assembles the end-of-search Result from the best outstanding
+// node bound and the number of unexplored open nodes, applying the shared
+// Optimal/Feasible/Cancelled/Infeasible classification.
+func (e *engine) finalResult(res Result, outstanding float64, openNodes int) Result {
+	opt := e.opt
+	incumbent, incObj := e.incumbentCopy()
+	res.Bound = math.Min(outstanding, incObj)
+	if incumbent == nil {
+		if openNodes == 0 && !e.timedOut.Load() && !e.cancelled.Load() && int(e.nodes.Load()) < opt.MaxNodes {
+			res.Status = Infeasible
+		} else {
+			res.Status = NoSolution
+		}
+		return res
+	}
+	res.Objective = incObj + e.m.objOffset
+	res.Bound += e.m.objOffset
+	res.X = incumbent
+	gap := incObj + e.m.objOffset - res.Bound
+	rel := gap / (1 + math.Abs(res.Objective))
+	if openNodes == 0 || gap <= opt.AbsGap || (opt.RelGap > 0 && rel <= opt.RelGap) {
+		res.Status = Optimal
+		if openNodes == 0 {
+			res.Bound = res.Objective
+		}
+	} else if e.cancelled.Load() {
+		res.Status = Cancelled
+	} else {
+		res.Status = Feasible
+	}
+	return res
+}

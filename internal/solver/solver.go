@@ -95,6 +95,11 @@ type Config struct {
 	// DisableWarmStart turns off LP warm starts inside the MIP search
 	// (ablation for the branch-and-bound warm-start machinery).
 	DisableWarmStart bool
+	// Workers is the branch-and-bound worker count for each phase's MIP
+	// solve. Zero or one keeps the exact serial search; values above one
+	// enable the parallel engine (see mip.Options.Workers); negative means
+	// runtime.NumCPU().
+	Workers int
 	// SetupOnly builds both phases (RAS build, solver build, initial state)
 	// but skips the MIP step. Used by the Figure 10/11 scalability sweeps,
 	// which measure exactly those three steps.
@@ -202,6 +207,12 @@ type PhaseStats struct {
 	LPSolves      int
 	LPIters       int
 	LPLimited     int
+	// Workers is the resolved branch-and-bound worker count the phase ran
+	// with; IncumbentUpdates and HeuristicWins break down where its
+	// incumbents came from (see mip.Result).
+	Workers          int
+	IncumbentUpdates int
+	HeuristicWins    int
 }
 
 // Total reports the phase's wall-clock total.
@@ -810,6 +821,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 		AbsGap:      0.9 * cfg.MoveCostIdle,
 		RelGap:      0.02,
 		NoWarmStart: cfg.DisableWarmStart,
+		Workers:     cfg.Workers,
 	})
 	out.stats.MIP = time.Since(t0)
 	out.stats.Status = r.Status
@@ -817,6 +829,9 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 	out.stats.LPSolves = r.LPSolves
 	out.stats.LPIters = r.LPIters
 	out.stats.LPLimited = r.LPLimited
+	out.stats.Workers = r.Workers
+	out.stats.IncumbentUpdates = r.IncumbentUpdates
+	out.stats.HeuristicWins = r.HeuristicWins
 	if r.Status == mip.Optimal || r.Status == mip.Feasible || r.Status == mip.Cancelled {
 		out.stats.Objective = r.Objective
 		out.stats.Bound = r.Bound

@@ -125,6 +125,10 @@ type Options struct {
 	// StackingUnits is the per-server container stacking capacity. Zero
 	// means 8.
 	StackingUnits int
+	// Workers caps each solve round's parallelism (branch-and-bound
+	// workers or local-search starts). Zero means runtime.NumCPU(); 1
+	// forces the serial engines. See backend.Options.Workers.
+	Workers int
 	// Greedy switches server assignment to the Twine-greedy baseline
 	// (paper §1.1) instead of the RAS solver. Used for baseline
 	// comparisons (Figures 12, 14, 15).
@@ -260,7 +264,7 @@ func (s *System) SolveWith(ctx context.Context, now Clock, backendName string) (
 		Reservations: s.store.All(),
 		States:       s.broker.Snapshot(),
 	}
-	res, err := be.Solve(ctx, in, backend.Options{})
+	res, err := be.Solve(ctx, in, backend.Options{Workers: s.opts.Workers})
 	if err != nil {
 		return nil, err
 	}
