@@ -1,0 +1,160 @@
+package lint
+
+// Unit tests for the //raslint:allow escape-comment parser: line attribution
+// (end-of-line vs standalone), reason capture, and every malformed shape —
+// missing rule, unknown rule, missing reason, unknown verb — being reported
+// as an error rather than silently ignored.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseFixture writes src to disk (fileCodeLines re-reads the file bytes) and
+// parses it with comments.
+func parseFixture(t *testing.T, src string) (*token.FileSet, *ast.File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fixture.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatalf("writing fixture: %v", err)
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return fset, file, path
+}
+
+func knownRuleSet() map[string]bool {
+	known := map[string]bool{}
+	for _, name := range RuleNames() {
+		known[name] = true
+	}
+	return known
+}
+
+// firstComment returns the first comment of file containing substr.
+func firstComment(t *testing.T, file *ast.File, substr string) *ast.Comment {
+	t.Helper()
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, substr) {
+				return c
+			}
+		}
+	}
+	t.Fatalf("no comment containing %q", substr)
+	return nil
+}
+
+func TestParseDirectiveInlineAndStandalone(t *testing.T) {
+	fset, file, _ := parseFixture(t, `package p
+
+var a = 1 //raslint:allow errdrop inline: reason with several words
+
+//raslint:allow floatcmp standalone form
+var b = 2
+`)
+	known := knownRuleSet()
+	codeLines := fileCodeLines(fset, file)
+
+	inline, ok, err := parseDirective(fset, firstComment(t, file, "errdrop"), known, codeLines)
+	if err != nil || !ok {
+		t.Fatalf("inline directive: ok=%v err=%v", ok, err)
+	}
+	if inline.rule != "errdrop" {
+		t.Errorf("inline rule = %q, want errdrop", inline.rule)
+	}
+	if inline.reason != "inline: reason with several words" {
+		t.Errorf("inline reason = %q", inline.reason)
+	}
+	if inline.line != 3 {
+		t.Errorf("inline directive suppresses line %d, want 3 (its own line)", inline.line)
+	}
+
+	standalone, ok, err := parseDirective(fset, firstComment(t, file, "floatcmp"), known, codeLines)
+	if err != nil || !ok {
+		t.Fatalf("standalone directive: ok=%v err=%v", ok, err)
+	}
+	if standalone.line != 6 {
+		t.Errorf("standalone directive suppresses line %d, want 6 (the next line)", standalone.line)
+	}
+}
+
+func TestParseDirectiveIgnoresOrdinaryComments(t *testing.T) {
+	fset, file, _ := parseFixture(t, `package p
+
+// just a comment mentioning raslint:allow in prose, not at the start
+var a = 1
+`)
+	_, ok, err := parseDirective(fset, file.Comments[0].List[0], knownRuleSet(), fileCodeLines(fset, file))
+	if ok || err != nil {
+		t.Errorf("ordinary comment: ok=%v err=%v, want false/nil", ok, err)
+	}
+}
+
+func TestParseDirectiveMalformed(t *testing.T) {
+	cases := []struct {
+		name      string
+		directive string
+		wantErr   string
+	}{
+		{"unknown verb", "//raslint:deny errdrop whatever", `unknown raslint directive "deny"`},
+		{"missing rule", "//raslint:allow", "needs a rule name"},
+		{"unknown rule", "//raslint:allow nosuchrule because", `unknown rule "nosuchrule"`},
+		{"missing reason", "//raslint:allow errdrop", "needs a reason"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, file, _ := parseFixture(t, "package p\n\nvar a = 1 "+tc.directive+"\n")
+			_, ok, err := parseDirective(fset, firstComment(t, file, "raslint:"), knownRuleSet(), fileCodeLines(fset, file))
+			if ok {
+				t.Fatalf("malformed directive parsed as valid")
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseDirectivesIndexesAndReports(t *testing.T) {
+	fset, file, path := parseFixture(t, `package p
+
+var a = 1 //raslint:allow errdrop first
+
+//raslint:allow determinism second
+var b = 2
+
+var c = 3 //raslint:allow bogus third
+`)
+	pkg := &Package{Path: "p", Name: "p", Fset: fset, Files: []*ast.File{file}}
+	var reported []string
+	set := parseDirectives(pkg, knownRuleSet(), func(pos token.Pos, rule, format string, args ...any) {
+		p := fset.Position(pos)
+		reported = append(reported, fmt.Sprintf("%s@%s:%d", rule, p.Filename, p.Line))
+	})
+
+	if !set.allowed(token.Position{Filename: path, Line: 3}, "errdrop") {
+		t.Errorf("line 3 should allow errdrop")
+	}
+	if set.allowed(token.Position{Filename: path, Line: 3}, "floatcmp") {
+		t.Errorf("line 3 must not allow a rule the directive did not name")
+	}
+	if !set.allowed(token.Position{Filename: path, Line: 6}, "determinism") {
+		t.Errorf("line 6 should allow determinism (standalone directive on line 5)")
+	}
+	if set.allowed(token.Position{Filename: path, Line: 5}, "determinism") {
+		t.Errorf("line 5 (the standalone directive itself) should not allow anything")
+	}
+	if len(reported) != 1 || reported[0] != fmt.Sprintf("directive@%s:8", path) {
+		t.Errorf("malformed directives reported = %v, want exactly [directive@%s:8]", reported, path)
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+// The testdata corpus under testdata/src/ is the analyzers' own unit test:
+// each fixture package is loaded under a synthetic import path (so scope
+// matching is exercised) and checked against `// want `regex`` expectations.
+// Every diagnostic must be claimed by exactly one want on its line, and every
+// want must be claimed by a diagnostic — unexpected findings and missed
+// findings both fail.
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts `want `regex“ expectations from comment text. Block
+// comments participate too: the directive fixtures need the expectation and
+// the (line-comment) directive under test on the same line.
+var wantRe = regexp.MustCompile("want `([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func TestAnalyzersAgainstTestdata(t *testing.T) {
+	loader, err := NewLoaderAt(filepath.Join("testdata", "src"), "ras-lint-testdata")
+	if err != nil {
+		t.Fatalf("NewLoaderAt: %v", err)
+	}
+	cases := []struct {
+		dir        string
+		importPath string
+	}{
+		// Positive fixtures load under in-scope paths; _out fixtures load
+		// under out-of-scope paths and assert silence.
+		{"determinism", "ras/internal/mip"},
+		{"determinism_out", "ras/internal/experiments"},
+		{"mapiter", "ras/internal/solver"},
+		{"mapiter_out", "ras/internal/metrics"},
+		{"ctxflow", "ras/internal/broker"},
+		{"floatcmp", "ras/internal/lp"},
+		{"floatcmp_out", "ras/internal/localsearch"},
+		{"errdrop", "ras/internal/placer"},
+		{"directives", "ras/internal/directives"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := loader.Load(filepath.Join("testdata", "src", tc.dir), tc.importPath)
+			if err != nil {
+				t.Fatalf("loading testdata/src/%s: %v", tc.dir, err)
+			}
+			wants := collectWants(t, pkg)
+			diags := Run(&Config{}, []*Package{pkg})
+			for _, d := range diags {
+				claimed := false
+				for _, w := range wants {
+					if !w.hit && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						claimed = true
+						break
+					}
+				}
+				if !claimed {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}

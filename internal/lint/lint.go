@@ -1,0 +1,294 @@
+// Package lint is raslint: a from-scratch static-analysis pass, built only
+// on the standard library's go/ast, go/parser, go/types, and go/importer,
+// that machine-checks the invariants the RAS solver's reproducibility
+// promise rests on (see DESIGN.md "Static analysis"):
+//
+//   - determinism — no wall-clock reads (time.Now/time.Since) in solver
+//     packages, which must route timing through internal/clock, and no
+//     global math/rand anywhere in the module.
+//   - mapiter — no map iteration whose results are accumulated (append/send)
+//     past the loop without a following sort: the classic Go
+//     nondeterminism leak.
+//   - ctxflow — a function that receives a context.Context must not mint a
+//     fresh root context and must forward its ctx to every callee that
+//     accepts one, so cancellation reaches the whole solve stack.
+//   - floatcmp — no ==/!= between floats in the numerical packages outside
+//     the designated exact-comparison helpers.
+//   - errdrop — no error return silently discarded in statement position.
+//
+// Intentional exceptions carry a //raslint:allow <rule> <reason> directive
+// (see directives.go); each suppression is scoped to a single line and must
+// name a real rule and a reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// An analyzer is one named rule over a type-checked package.
+type analyzer struct {
+	name string
+	doc  string
+	run  func(cfg *Config, pkg *Package, report reportFunc)
+}
+
+// reportFunc files one finding at pos.
+type reportFunc func(pos token.Pos, format string, args ...any)
+
+// analyzers is the rule registry, in documentation order.
+var analyzers = []*analyzer{
+	{
+		name: "determinism",
+		doc:  "forbid wall-clock reads in solver packages and global math/rand module-wide",
+		run:  runDeterminism,
+	},
+	{
+		name: "mapiter",
+		doc:  "flag map iterations accumulating into escaping state without a following sort",
+		run:  runMapiter,
+	},
+	{
+		name: "ctxflow",
+		doc:  "functions receiving a ctx must forward it and must not mint root contexts",
+		run:  runCtxflow,
+	},
+	{
+		name: "floatcmp",
+		doc:  "forbid ==/!= on floats in numerical packages outside exact-comparison helpers",
+		run:  runFloatcmp,
+	},
+	{
+		name: "errdrop",
+		doc:  "forbid discarding error returns in statement position",
+		run:  runErrdrop,
+	},
+}
+
+// RuleNames lists every rule, including the synthetic "directive" rule that
+// reports malformed //raslint: comments.
+func RuleNames() []string {
+	names := make([]string, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		names = append(names, a.name)
+	}
+	names = append(names, "directive")
+	return names
+}
+
+// RuleDocs maps rule name → one-line description.
+func RuleDocs() map[string]string {
+	docs := map[string]string{"directive": "malformed //raslint: directives"}
+	for _, a := range analyzers {
+		docs[a.name] = a.doc
+	}
+	return docs
+}
+
+// Config selects rules and scopes. The zero value runs every rule with the
+// repository's default scopes.
+type Config struct {
+	// Disabled turns rules off by name. The "directive" rule cannot be
+	// disabled: a malformed suppression is always an error.
+	Disabled map[string]bool
+
+	// DeterminismTimeScope lists the import paths where wall-clock reads are
+	// forbidden. Nil selects the solve stack: internal/lp, internal/mip,
+	// internal/localsearch, internal/solver, internal/backend.
+	DeterminismTimeScope []string
+	// MapiterScope lists the import paths checked by mapiter. Nil selects
+	// the same solve-stack packages.
+	MapiterScope []string
+	// FloatcmpScope lists the import paths checked by floatcmp. Nil selects
+	// the numerical core: internal/lp and internal/mip.
+	FloatcmpScope []string
+	// FloatcmpHelpers names the functions allowed to compare floats exactly
+	// (the designated tolerance/exact-zero helpers). Nil selects
+	// DefaultFloatcmpHelpers.
+	FloatcmpHelpers []string
+}
+
+// Default scopes, as import paths of this module.
+var (
+	defaultSolveScope = []string{
+		"ras/internal/lp",
+		"ras/internal/mip",
+		"ras/internal/localsearch",
+		"ras/internal/solver",
+		"ras/internal/backend",
+	}
+	defaultFloatScope = []string{
+		"ras/internal/lp",
+		"ras/internal/mip",
+	}
+	// DefaultFloatcmpHelpers are the designated exact-comparison helper
+	// names: tiny, documented functions whose whole job is an intentional
+	// exact float comparison (sparsity checks on stored-exact zeros).
+	DefaultFloatcmpHelpers = []string{"exactZero", "exactEqual", "approxEq", "isZero"}
+)
+
+func (c *Config) timeScope() []string {
+	if c.DeterminismTimeScope != nil {
+		return c.DeterminismTimeScope
+	}
+	return defaultSolveScope
+}
+
+func (c *Config) mapiterScope() []string {
+	if c.MapiterScope != nil {
+		return c.MapiterScope
+	}
+	return defaultSolveScope
+}
+
+func (c *Config) floatcmpScope() []string {
+	if c.FloatcmpScope != nil {
+		return c.FloatcmpScope
+	}
+	return defaultFloatScope
+}
+
+func (c *Config) floatcmpHelpers() map[string]bool {
+	names := c.FloatcmpHelpers
+	if names == nil {
+		names = DefaultFloatcmpHelpers
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
+
+func inScope(scope []string, path string) bool {
+	for _, s := range scope {
+		if path == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every enabled analyzer over pkgs and returns the surviving
+// findings sorted by position. Findings on lines carrying a matching
+// //raslint:allow directive are suppressed; malformed directives are
+// reported under the "directive" rule.
+func Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	known := map[string]bool{}
+	for _, name := range RuleNames() {
+		known[name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		collect := func(rule string) reportFunc {
+			return func(pos token.Pos, format string, args ...any) {
+				p := pkg.Fset.Position(pos)
+				raw = append(raw, Diagnostic{
+					File:    p.Filename,
+					Line:    p.Line,
+					Col:     p.Column,
+					Rule:    rule,
+					Message: fmt.Sprintf(format, args...),
+				})
+			}
+		}
+		dirs := parseDirectives(pkg, known, func(pos token.Pos, rule, format string, args ...any) {
+			collect(rule)(pos, format, args...)
+		})
+		for _, a := range analyzers {
+			if cfg.Disabled[a.name] {
+				continue
+			}
+			a.run(cfg, pkg, collect(a.name))
+		}
+		for _, d := range raw {
+			if d.Rule != "directive" && dirs.allowed(token.Position{Filename: d.File, Line: d.Line}, d.Rule) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ---- shared type helpers ----
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isErrorType reports whether t is the built-in error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// funcObjOf resolves the *types.Func a call expression invokes, nil for
+// builtins, conversions, and indirect calls through values.
+func funcObjOf(info *types.Info, fun ast.Expr) *types.Func {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[f].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := info.Uses[f.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// calleeSignature resolves the signature a call invokes, nil when the callee
+// is a type conversion or builtin.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

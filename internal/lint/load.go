@@ -1,0 +1,284 @@
+package lint
+
+// Package loading. raslint deliberately uses nothing outside the standard
+// library: go/parser parses every file, go/types type-checks it, and a small
+// module-aware importer resolves "ras/..." imports to directories of this
+// repository while delegating everything else (the standard library) to the
+// stdlib source importer. No golang.org/x/tools, no go command subprocesses.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit every analyzer
+// operates on.
+type Package struct {
+	// Path is the import path the package was loaded under. Analyzer scopes
+	// match against it.
+	Path string
+	// Name is the package name from the source files.
+	Name string
+	// Fset positions every node of Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Info is the type-checker's fact base (Types, Defs, Uses, Selections).
+	Info *types.Info
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+}
+
+// Loader loads and type-checks packages of one module from source.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	ctxt  build.Context
+	cache map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+	// loading marks an import in progress, for cycle detection.
+	loading bool
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)\s*$`)
+
+// NewLoader returns a loader rooted at moduleDir. The module path is read
+// from go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", moduleDir)
+	}
+	return NewLoaderAt(moduleDir, string(m[1]))
+}
+
+// NewLoaderAt returns a loader for a module rooted at moduleDir under the
+// given module path, without requiring a go.mod. The analyzer's own testdata
+// corpus loads through this: each fixture directory is type-checked under a
+// synthetic import path so scope matching can be exercised.
+func NewLoaderAt(moduleDir, modulePath string) (*Loader, error) {
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		ModuleDir:  moduleDir,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        std,
+		ctxt:       ctxt,
+		cache:      map[string]*loadEntry{},
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer for the type-checker: module-internal
+// paths load from the repository, everything else from the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if dir, ok := l.moduleDir(path); ok {
+		pkg, err := l.Load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// moduleDir maps a module-internal import path to its directory.
+func (l *Loader) moduleDir(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Load parses and type-checks the package in dir under the given import
+// path. Results are memoized by import path.
+func (l *Loader) Load(dir, importPath string) (*Package, error) {
+	if e, ok := l.cache[importPath]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("lint: import cycle through %q", importPath)
+		}
+		return e.pkg, e.err
+	}
+	e := &loadEntry{loading: true}
+	l.cache[importPath] = e
+	e.pkg, e.err = l.loadUncached(dir, importPath)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+func (l *Loader) loadUncached(dir, importPath string) (*Package, error) {
+	names, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Name:  files[0].Name.Name,
+		Fset:  l.fset,
+		Files: files,
+		Info:  info,
+		Pkg:   tpkg,
+	}, nil
+}
+
+// sourceFiles lists the buildable non-test Go files of dir, honouring build
+// constraints (e.g. the experiments package's race_on.go/race_off.go pair)
+// under the default build context.
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := l.ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s/%s: %w", dir, name, err)
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadDirs resolves the given patterns (directories relative to the module
+// root, or "..."-suffixed subtree patterns like "./...") into packages. Every
+// directory containing buildable Go files is loaded under its module import
+// path.
+func (l *Loader) LoadDirs(patterns []string) ([]*Package, error) {
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" || pat == "." {
+			pat = "..."
+		}
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			if err := l.walkPackageDirs(root, dirSet); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dirSet[filepath.Join(l.ModuleDir, filepath.FromSlash(pat))] = true
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkPackageDirs collects every directory under root that holds buildable
+// Go files, skipping testdata, vendor, and hidden directories.
+func (l *Loader) walkPackageDirs(root string, out map[string]bool) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := l.sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			out[path] = true
+		}
+		return nil
+	})
+}

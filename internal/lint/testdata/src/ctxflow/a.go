@@ -1,0 +1,47 @@
+// Fixture for the ctxflow analyzer (module-wide; loaded under
+// "ras/internal/broker").
+package ctxflow
+
+import "context"
+
+func helper(ctx context.Context, n int) int { return n }
+
+func plain(n int) int { return n }
+
+func needsCtx(ctx context.Context) {}
+
+func forwards(ctx context.Context) int {
+	return helper(ctx, 1) // forwards its ctx: fine
+}
+
+func derives(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	needsCtx(c) // a derived context still flows: fine
+}
+
+func mintsRoot(ctx context.Context) {
+	needsCtx(context.Background()) // want `mintsRoot receives a ctx but calls context\.Background`
+}
+
+func mintsTODO(ctx context.Context) {
+	needsCtx(context.TODO()) // want `mintsTODO receives a ctx but calls context\.TODO`
+}
+
+func passesNil(ctx context.Context) int {
+	return helper(nil, 1) // want `passesNil receives a ctx but calls helper without forwarding a context`
+}
+
+func callsPlain(ctx context.Context) int {
+	_ = ctx
+	return plain(1) // callee takes no ctx: fine
+}
+
+func root() context.Context {
+	return context.Background() // no ctx parameter here: fine
+}
+
+func detached(ctx context.Context) {
+	//raslint:allow ctxflow fixture exercising suppression of a root-context mint
+	needsCtx(context.Background())
+}

@@ -1,0 +1,17 @@
+// Negative fixture: loaded under "ras/internal/experiments", which is outside
+// the wall-clock scope, so time.Now is fine here — but the global rand source
+// stays forbidden module-wide.
+package determinismout
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timing() time.Time {
+	return time.Now() // outside the wall-clock scope: no finding
+}
+
+func figure() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the global rand source`
+}

@@ -1,0 +1,16 @@
+// Fixture for malformed //raslint: directives, each reported under the
+// "directive" rule. The want expectations live in block comments on the same
+// line because the line comment itself is the directive under test.
+package directives
+
+/* want `unknown raslint directive "frobnicate"` */ //raslint:frobnicate something
+var _ = 1
+
+/* want `raslint:allow needs a rule name` */ //raslint:allow
+var _ = 2
+
+/* want `raslint:allow names unknown rule "nosuchrule"` */ //raslint:allow nosuchrule because reasons
+var _ = 3
+
+/* want `raslint:allow floatcmp needs a reason` */ //raslint:allow floatcmp
+var _ = 4

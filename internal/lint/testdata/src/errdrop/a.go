@@ -1,0 +1,47 @@
+// Fixture for the errdrop analyzer (module-wide; loaded under
+// "ras/internal/placer").
+package errdrop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+func fine() int { return 1 }
+
+func drops() {
+	fail() // want `fail returns an error that is discarded`
+}
+
+func dropsSecondResult() {
+	failPair() // want `failPair returns an error that is discarded`
+}
+
+func dropsDeferred() {
+	defer fail() // want `fail returns an error that is discarded`
+}
+
+func dropsGoroutine() {
+	go fail() // want `fail returns an error that is discarded`
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	_ = fail() // explicit blank assignment: fine
+	return nil
+}
+
+func exempt(sb *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("ok")     // fmt print family: exempt
+	sb.WriteString("ok")  // strings.Builder never errors: exempt
+	buf.WriteString("ok") // bytes.Buffer writes never error: exempt
+	fine()                // no error result: fine
+}

@@ -1,0 +1,7 @@
+// Negative fixture: loaded under "ras/internal/localsearch", which is outside
+// the floatcmp scope (the rule covers the numerical core only).
+package floatcmpout
+
+func eq(a, b float64) bool {
+	return a == b // out of scope: no finding
+}

@@ -1,0 +1,49 @@
+// Fixture for the mapiter analyzer, loaded under "ras/internal/solver" (in
+// scope).
+package mapiter
+
+import "sort"
+
+func leak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" while ranging over a map`
+	}
+	return keys
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `send into a channel while ranging over a map`
+	}
+}
+
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted right after the loop: fine
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedOutsideIf(m map[string]int, cond bool) []string {
+	var keys []string
+	if cond {
+		for k := range m {
+			keys = append(keys, k) // sorted after the enclosing if: fine
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func loopLocal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		parts := []int{}
+		parts = append(parts, v) // target dies with the iteration: fine
+		n += len(parts)
+	}
+	return n
+}

@@ -1,0 +1,11 @@
+// Negative fixture: loaded under "ras/internal/metrics", outside the mapiter
+// scope, so even the classic leak pattern is not flagged.
+package mapiterout
+
+func leak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // out of scope: no finding
+	}
+	return keys
+}
