@@ -129,6 +129,19 @@ func (p *Problem) Clone() *Problem {
 	}
 }
 
+// exactZero reports whether v is exactly zero. The solver's sparsity
+// convention stores absent entries as exact zeros (assigned, never the
+// residue of arithmetic), so identity — not closeness — is the intended
+// test; a tolerance here would misclassify genuinely tiny values. This is a
+// raslint floatcmp designated helper: the one place the convention lives.
+func exactZero(v float64) bool { return v == 0 }
+
+// exactEqual reports whether a and b are exactly equal. For values copied
+// from the same store (variable bounds, pivot targets), where the question
+// is "is this that same stored value", not numerical closeness. A raslint
+// floatcmp designated helper.
+func exactEqual(a, b float64) bool { return a == b }
+
 // AddRow appends a constraint row Σ coeffs·x sense rhs and returns its index.
 // Coefficients must reference variables that already exist. Duplicate indices
 // within one row are summed.
@@ -139,7 +152,7 @@ func (p *Problem) AddRow(coeffs []Nonzero, sense Sense, rhs float64) int {
 		if nz.Index < 0 || nz.Index >= len(p.cost) {
 			panic(fmt.Sprintf("lp: row references unknown variable %d", nz.Index))
 		}
-		if nz.Value == 0 {
+		if exactZero(nz.Value) {
 			continue
 		}
 		if at, ok := seen[nz.Index]; ok {
@@ -234,11 +247,11 @@ var ErrMalformed = errors.New("lp: malformed problem")
 // Solution then has Status Cancelled and carries whatever (possibly
 // infeasible) point the solver held when it stopped.
 func (p *Problem) Solve(ctx context.Context, opt Options) Solution {
-	if opt.Tol == 0 {
+	if exactZero(opt.Tol) {
 		opt.Tol = 1e-9
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //raslint:allow ctxflow nil ctx defaults to Background at the public API boundary
 	}
 	if opt.Start != nil {
 		s := newSimplex(ctx, p, opt)
@@ -368,7 +381,7 @@ func (s *simplex) run() Solution {
 	// Residual r = b - A·x determines artificial signs and values.
 	resid := append([]float64(nil), s.b...)
 	for j := 0; j < s.artStart; j++ {
-		if s.x[j] == 0 {
+		if exactZero(s.x[j]) {
 			continue
 		}
 		for _, nz := range s.cols[j] {
@@ -440,7 +453,7 @@ func (s *simplex) run() Solution {
 	for i := 0; i < m; i++ {
 		a := s.artStart + i
 		s.up[a] = 0
-		if s.x[a] != 0 {
+		if !exactZero(s.x[a]) {
 			s.x[a] = 0 // clean up residual fuzz below tolerance
 		}
 	}
@@ -574,7 +587,7 @@ func (s *simplex) runWarm(start *Basis) (Solution, bool) {
 func (s *simplex) residualOK() bool {
 	resid := append([]float64(nil), s.b...)
 	for j := 0; j < s.n; j++ {
-		if s.x[j] == 0 {
+		if exactZero(s.x[j]) {
 			continue
 		}
 		for _, nz := range s.cols[j] {
@@ -595,7 +608,7 @@ func (s *simplex) dualFeasible(cost []float64) bool {
 	y := make([]float64, m)
 	for i := 0; i < m; i++ {
 		cb := cost[s.basis[i]]
-		if cb == 0 {
+		if exactZero(cb) {
 			continue
 		}
 		row := s.binv[i*m : (i+1)*m]
@@ -605,7 +618,7 @@ func (s *simplex) dualFeasible(cost []float64) bool {
 	}
 	tol := math.Max(s.opt.Tol*1e3, 1e-6)
 	for j := 0; j < s.n; j++ {
-		if s.inRow[j] >= 0 || s.lo[j] == s.up[j] {
+		if s.inRow[j] >= 0 || exactEqual(s.lo[j], s.up[j]) {
 			continue
 		}
 		d := cost[j]
@@ -666,7 +679,7 @@ func (s *simplex) dualSimplex(cost []float64) Status {
 		}
 		for i := 0; i < m; i++ {
 			cb := cost[s.basis[i]]
-			if cb == 0 {
+			if exactZero(cb) {
 				continue
 			}
 			row := s.binv[i*m : (i+1)*m]
@@ -682,7 +695,7 @@ func (s *simplex) dualSimplex(cost []float64) Status {
 		bestRatio := math.Inf(1)
 		var alphaQ float64
 		for j := 0; j < s.n; j++ {
-			if s.inRow[j] >= 0 || s.lo[j] == s.up[j] {
+			if s.inRow[j] >= 0 || exactEqual(s.lo[j], s.up[j]) {
 				continue
 			}
 			alpha := 0.0
@@ -735,7 +748,7 @@ func (s *simplex) dualSimplex(cost []float64) Status {
 
 		out := s.basis[leave]
 		s.inRow[out] = -1
-		s.atUp[out] = target == s.up[out] && s.lo[out] != s.up[out]
+		s.atUp[out] = exactEqual(target, s.up[out]) && !exactEqual(s.lo[out], s.up[out])
 		s.x[out] = target
 		s.basis[leave] = enter
 		s.inRow[enter] = leave
@@ -790,7 +803,7 @@ func (s *simplex) optimize(cost []float64, priceLimit int) Status {
 		}
 		for i := 0; i < m; i++ {
 			cb := cost[s.basis[i]]
-			if cb == 0 {
+			if exactZero(cb) {
 				continue
 			}
 			row := s.binv[i*m : (i+1)*m]
@@ -808,7 +821,7 @@ func (s *simplex) optimize(cost []float64, priceLimit int) Status {
 			if s.inRow[j] >= 0 {
 				continue
 			}
-			if s.lo[j] == s.up[j] {
+			if exactEqual(s.lo[j], s.up[j]) {
 				continue // fixed variable can never improve
 			}
 			d := cost[j]
@@ -944,7 +957,7 @@ func (s *simplex) updateInverse(r int, w []float64) {
 			continue
 		}
 		f := w[i]
-		if f == 0 {
+		if exactZero(f) {
 			continue
 		}
 		row := s.binv[i*m : (i+1)*m]
@@ -996,7 +1009,7 @@ func (s *simplex) reinvert() {
 				continue
 			}
 			f := bm[r*m+col]
-			if f == 0 {
+			if exactZero(f) {
 				continue
 			}
 			for k := 0; k < m; k++ {
@@ -1015,7 +1028,7 @@ func (s *simplex) recomputeBasics() {
 	m := s.m
 	resid := append([]float64(nil), s.b...)
 	for j := 0; j < s.n; j++ {
-		if s.inRow[j] >= 0 || s.x[j] == 0 {
+		if s.inRow[j] >= 0 || exactZero(s.x[j]) {
 			continue
 		}
 		for _, nz := range s.cols[j] {
