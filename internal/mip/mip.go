@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"ras/internal/clock"
 	"ras/internal/lp"
 	"ras/internal/metrics"
 )
@@ -357,7 +358,7 @@ type boundChange struct {
 // when no incumbent exists yet). A ctx deadline and Options.TimeLimit
 // compose; whichever expires first stops the search.
 func (m *Model) Solve(ctx context.Context, opt Options) Result {
-	start := time.Now()
+	start := clock.Now()
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -388,7 +389,7 @@ func (m *Model) Solve(ctx context.Context, opt Options) Result {
 	}
 	e.fillStats(&res)
 	res.Workers = opt.Workers
-	res.SolveTime = time.Since(start)
+	res.SolveTime = clock.Since(start)
 
 	metrics.Solver.Solves.Add(1)
 	metrics.Solver.WorkersUsed.Add(int64(opt.Workers))

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ras/internal/clock"
 	"ras/internal/lp"
 )
 
@@ -138,7 +139,7 @@ func (e *engine) expired() bool {
 		e.cancelled.Store(true)
 		return true
 	}
-	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+	if !e.deadline.IsZero() && clock.Now().After(e.deadline) {
 		e.timedOut.Store(true)
 	}
 	return e.timedOut.Load()
