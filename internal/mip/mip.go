@@ -37,6 +37,16 @@ var noWarm = os.Getenv("MIP_NOWARM") != ""
 // debugDive logs dive-heuristic exits (debug toggle).
 var debugDive = os.Getenv("MIP_DEBUG_DIVE") != ""
 
+// exactZero reports whether v is exactly zero — the zero-value "knob unset"
+// sentinel in Options and the stored-exact sparsity convention shared with
+// package lp. A raslint floatcmp designated helper.
+func exactZero(v float64) bool { return v == 0 }
+
+// exactEqual reports whether a and b are exactly equal, for values copied
+// from the same store (warm-start points, floor/ceil anchors). A raslint
+// floatcmp designated helper.
+func exactEqual(a, b float64) bool { return a == b }
+
 // Var identifies a variable within a Model.
 type Var int
 
@@ -360,12 +370,12 @@ type boundChange struct {
 func (m *Model) Solve(ctx context.Context, opt Options) Result {
 	start := clock.Now()
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //raslint:allow ctxflow nil ctx defaults to Background at the public API boundary
 	}
-	if opt.IntTol == 0 {
+	if exactZero(opt.IntTol) {
 		opt.IntTol = 1e-6
 	}
-	if opt.AbsGap == 0 {
+	if exactZero(opt.AbsGap) {
 		opt.AbsGap = 1e-6
 	}
 	if opt.MaxNodes == 0 {

@@ -346,7 +346,7 @@ func (s *search) guardedRound(act, xi []float64, j int) bool {
 	// genuinely ambiguous; strong fractional pulls (e.g. capacity fills)
 	// must win over stability.
 	if m.initial != nil && j < len(m.initial) && frac > 0.35 && frac < 0.65 {
-		if iv := m.initial[j]; iv == floor || iv == ceil {
+		if iv := m.initial[j]; exactEqual(iv, floor) || exactEqual(iv, ceil) {
 			first, second = iv, floor+ceil-iv
 		}
 	}
@@ -464,7 +464,7 @@ func (s *search) roundRepairComplete(seed []float64) bool {
 					need = m.rhs[i] - lhs
 				}
 			}
-			if need == 0 {
+			if exactZero(need) {
 				continue
 			}
 			// Round-robin unit bumps across DISTINCT row variables: the
@@ -481,7 +481,7 @@ func (s *search) roundRepairComplete(seed []float64) bool {
 				moved := false
 				for _, nz := range row {
 					j := nz.Index
-					if !m.integer[j] || nz.Value == 0 || m.cost[j] != 0 || bumped[j] {
+					if !m.integer[j] || exactZero(nz.Value) || !exactZero(m.cost[j]) || bumped[j] {
 						continue
 					}
 					step := sign(need) * sign(nz.Value)
