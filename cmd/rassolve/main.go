@@ -133,7 +133,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		defer f.Close() //raslint:allow errdrop close error on a read-only input file is uninteresting
 		if err := json.NewDecoder(f).Decode(&doc); err != nil {
 			log.Fatalf("rassolve: parse %s: %v", *in, err)
 		}

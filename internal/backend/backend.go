@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"ras/internal/clock"
 	"ras/internal/localsearch"
 	"ras/internal/mip"
 	"ras/internal/reservation"
@@ -219,7 +220,7 @@ func (b *mipBackend) Solve(ctx context.Context, in solver.Input, opts Options) (
 		cfg.Phase2TimeLimit = opts.TimeLimit / 3
 	}
 	cfg.Workers = opts.workers()
-	start := time.Now()
+	start := clock.Now()
 	res, err := solver.Solve(ctx, in, cfg)
 	if err != nil {
 		return nil, err
@@ -231,7 +232,7 @@ func (b *mipBackend) Solve(ctx context.Context, in solver.Input, opts Options) (
 		Objective: res.Phase1.Objective,
 		Bound:     res.Phase1.Bound,
 		Gap:       res.Phase1.Objective - res.Phase1.Bound,
-		Elapsed:   time.Since(start),
+		Elapsed:   clock.Since(start),
 		MIP:       res,
 	}
 	switch {

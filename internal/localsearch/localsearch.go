@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ras/internal/broker"
+	"ras/internal/clock"
 	"ras/internal/hardware"
 	"ras/internal/reservation"
 	"ras/internal/solver"
@@ -140,7 +141,7 @@ type state struct {
 // Result.Cancelled set. A cancelled search is not an error.
 func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //raslint:allow ctxflow nil ctx defaults to Background at the public API boundary
 	}
 	if in.Region == nil {
 		return nil, fmt.Errorf("localsearch: nil region")
@@ -149,12 +150,12 @@ func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("localsearch: %d states for %d servers", len(in.States), len(in.Region.Servers))
 	}
 	cfg = cfg.withDefaults(in.Region)
-	start := time.Now()
+	start := clock.Now()
 
 	if cfg.Starts <= 1 {
 		res := climb(ctx, in, cfg, cfg.Seed)
 		res.Starts = 1
-		res.Elapsed = time.Since(start)
+		res.Elapsed = clock.Since(start)
 		return res, nil
 	}
 
@@ -181,7 +182,7 @@ func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
 	res := results[best]
 	res.Starts = cfg.Starts
 	res.BestStart = best
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clock.Since(start)
 	res.Cancelled = ctx.Err() == context.Canceled
 	return res, nil
 }
@@ -198,7 +199,7 @@ func startSeed(base int64, i int) int64 {
 // loop, result assembly) with the given RNG seed. Each climb owns all of
 // its state, so any number may run concurrently on one input.
 func climb(ctx context.Context, in solver.Input, cfg Config, seed int64) *Result {
-	start := time.Now()
+	start := clock.Now()
 	s := newState(in, cfg)
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{}
@@ -215,7 +216,7 @@ func climb(ctx context.Context, in solver.Input, cfg Config, seed int64) *Result
 		if ctx.Err() != nil {
 			break
 		}
-		if time.Now().After(deadline) {
+		if clock.Now().After(deadline) {
 			break
 		}
 		// Sample candidate moves, keep the steepest improvement.
@@ -271,7 +272,7 @@ func climb(ctx context.Context, in solver.Input, cfg Config, seed int64) *Result
 
 	res.Targets = append([]reservation.ID(nil), s.assign...)
 	res.Objective = s.objective()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clock.Since(start)
 	// Explicit cancellation only: a ctx deadline expiring is a time budget
 	// running out, indistinguishable from Config.TimeLimit (Feasible).
 	res.Cancelled = ctx.Err() == context.Canceled

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ras/internal/broker"
+	"ras/internal/clock"
 	"ras/internal/hardware"
 	"ras/internal/mip"
 	"ras/internal/reservation"
@@ -293,7 +294,7 @@ func wearBucket(w float64) int {
 // with Cancelled set.
 func Solve(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //raslint:allow ctxflow nil ctx defaults to Background at the public API boundary
 	}
 	if in.Region == nil {
 		return nil, fmt.Errorf("solver: nil region")
@@ -515,7 +516,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 	out := &phaseOutput{specs: specs}
 
 	// ---------------- RAS build: grouping & constants. -------------------
-	t0 := time.Now()
+	t0 := clock.Now()
 	out.groups = groupServers(in, pool, rackLevel, cfg.DisableSymmetry, cfg.WearPenalty > 0)
 	cat := in.Region.Catalog
 
@@ -532,10 +533,10 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 			vval[gi][si] = rruValue(cat, g.typeIdx, s)
 		}
 	}
-	out.stats.RASBuild = time.Since(t0)
+	out.stats.RASBuild = clock.Since(t0)
 
 	// ---------------- Initial state. -------------------------------------
-	t0 = time.Now()
+	t0 = clock.Now()
 	// Initial count X[g][s]: servers of g currently in spec s. The "current"
 	// reference is the broker's Current in phase 1 and the phase-1 target in
 	// phase 2, so phase 2 warm-starts from the phase-1 solution.
@@ -561,10 +562,10 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 			}
 		}
 	}
-	out.stats.InitialState = time.Since(t0)
+	out.stats.InitialState = clock.Since(t0)
 
 	// ---------------- Solver build: the MIP. ------------------------------
-	t0 = time.Now()
+	t0 = clock.Now()
 	m := mip.NewModel()
 	var initX []float64 // warm-start values, parallel to model variables
 	addVar := func(v mip.Var, init float64) {
@@ -804,7 +805,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 	out.stats.ModelVars = m.NumVars()
 	out.stats.ModelRows = m.NumConstrs()
 	out.stats.Groups = nG
-	out.stats.SolverBuild = time.Since(t0)
+	out.stats.SolverBuild = clock.Since(t0)
 
 	// ---------------- MIP step. -------------------------------------------
 	out.counts = initCount // fall back to "no change" if the MIP is skipped
@@ -812,7 +813,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 		out.stats.Status = mip.NoSolution
 		return out
 	}
-	t0 = time.Now()
+	t0 = clock.Now()
 	// Gap tolerances: proving optimality below the cost of a single idle
 	// move is pointless churn, so stop there (the paper likewise accepts
 	// early timeouts and measures the remaining gap, Figure 9).
@@ -823,7 +824,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 		NoWarmStart: cfg.DisableWarmStart,
 		Workers:     cfg.Workers,
 	})
-	out.stats.MIP = time.Since(t0)
+	out.stats.MIP = clock.Since(t0)
 	out.stats.Status = r.Status
 	out.stats.Nodes = r.Nodes
 	out.stats.LPSolves = r.LPSolves
