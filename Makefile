@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke bench bench-baseline
+.PHONY: check fmt vet lint build test race smoke bench bench-baseline
 
-check: fmt vet build test race smoke
+check: fmt vet lint build test race smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -14,6 +14,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (cmd/raslint): determinism, mapiter,
+# ctxflow, floatcmp, errdrop. Exceptions need //raslint:allow <rule> <reason>.
+lint:
+	$(GO) run ./cmd/raslint ./...
 
 build:
 	$(GO) build ./...
