@@ -1,5 +1,6 @@
 // Command raslint runs the project's static-analysis pass (internal/lint)
-// over the module: determinism, mapiter, ctxflow, floatcmp, and errdrop.
+// over the module: determinism, mapiter, ctxflow, floatcmp, errdrop, and the
+// flow-sensitive rules lockcheck, leakcheck, and calldeterminism.
 // It is part of the pre-merge gate (`make lint`, inside `make check`).
 //
 // Usage:
@@ -9,7 +10,9 @@
 // Patterns are module-relative directories ("internal/mip") or subtree
 // patterns ("./..."); the default is "./...". Every rule has an enable flag
 // (-determinism=false disables it); -json emits machine-readable
-// diagnostics. Exit status: 0 clean, 1 findings, 2 load/usage errors.
+// diagnostics; -stale additionally reports //raslint:allow directives that
+// no longer suppress anything (on in `make lint`). Exit status: 0 clean,
+// 1 findings, 2 load/usage errors.
 //
 // Intentional exceptions are annotated in the source:
 //
@@ -35,6 +38,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	dir := fs.String("C", ".", "module root directory")
+	stale := fs.Bool("stale", false, "report //raslint:allow directives that suppress nothing")
 
 	docs := lint.RuleDocs()
 	ruleFlags := map[string]*bool{}
@@ -57,7 +61,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		patterns = []string{"./..."}
 	}
 
-	cfg := &lint.Config{Disabled: map[string]bool{}}
+	cfg := &lint.Config{Disabled: map[string]bool{}, Stale: *stale}
 	for name, enabled := range ruleFlags {
 		if !*enabled {
 			cfg.Disabled[name] = true

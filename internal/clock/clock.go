@@ -99,3 +99,46 @@ func (f *Fake) Advance(d time.Duration) {
 	f.t = f.t.Add(d)
 	f.mu.Unlock()
 }
+
+// Stepper is a self-advancing test clock: every Now read returns the current
+// instant and then steps the clock forward by a fixed amount. Deadline-polling
+// loops — the MIP engine checks clock.Now() against its deadline once per
+// node — therefore time out after a deterministic number of reads, with no
+// real time passing and no goroutine needed to drive the clock. Since is a
+// pure read and does not advance.
+type Stepper struct {
+	mu    sync.Mutex
+	t     time.Time
+	step  time.Duration
+	reads int
+}
+
+// NewStepper returns a Stepper whose first Now read reports start and which
+// advances by step per read.
+func NewStepper(start time.Time, step time.Duration) *Stepper {
+	return &Stepper{t: start, step: step}
+}
+
+// Now reports the current instant and advances the clock by one step.
+func (s *Stepper) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.t
+	s.t = s.t.Add(s.step)
+	s.reads++
+	return t
+}
+
+// Since reports elapsed stepper time since t, without advancing.
+func (s *Stepper) Since(t time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Sub(t)
+}
+
+// Reads reports how many Now reads the stepper has served.
+func (s *Stepper) Reads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads
+}

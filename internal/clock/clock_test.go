@@ -44,6 +44,52 @@ func TestOverrideAndFake(t *testing.T) {
 	defer Override(f2)()
 }
 
+func TestStepperAdvancesPerRead(t *testing.T) {
+	base := time.Unix(1000, 0)
+	s := NewStepper(base, time.Millisecond)
+	defer Override(s)()
+
+	if got := Now(); !got.Equal(base) {
+		t.Fatalf("first read = %v, want %v", got, base)
+	}
+	if got := Now(); !got.Equal(base.Add(time.Millisecond)) {
+		t.Fatalf("second read = %v, want start+1ms", got)
+	}
+	// Since is a pure read: it must not advance the clock.
+	before := Since(base)
+	if after := Since(base); after != before {
+		t.Fatalf("Since advanced the stepper: %v then %v", before, after)
+	}
+	if before != 2*time.Millisecond {
+		t.Fatalf("Since(base) = %v after two reads, want 2ms", before)
+	}
+	if got := s.Reads(); got != 2 {
+		t.Fatalf("Reads() = %d, want 2", got)
+	}
+}
+
+// TestStepperDeadlineLoop is the pattern the MIP time-limit test relies on:
+// a poll loop against a deadline terminates after a deterministic number of
+// reads, with no sleeping.
+func TestStepperDeadlineLoop(t *testing.T) {
+	s := NewStepper(time.Unix(0, 0), time.Millisecond)
+	defer Override(s)()
+
+	deadline := Now().Add(50 * time.Millisecond) // read 1
+	polls := 0
+	for !Now().After(deadline) {
+		polls++
+		if polls > 1000 {
+			t.Fatal("deadline loop did not terminate")
+		}
+	}
+	// Reads 2..52 report 1ms..51ms; the read reporting 51ms is the first
+	// after the 51ms deadline (50ms past the post-advance base of read 1).
+	if polls != 50 {
+		t.Fatalf("polls = %d, want 50", polls)
+	}
+}
+
 func TestFakeSinceConcurrent(t *testing.T) {
 	f := NewFake(time.Unix(0, 0))
 	done := make(chan struct{})

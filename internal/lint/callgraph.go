@@ -1,0 +1,240 @@
+package lint
+
+// Module-wide call graph over the loaded packages. The calldeterminism
+// analyzer needs reachability ("can a solve entry point transitively hit
+// time.Now?"), which no per-function walk can answer.
+//
+// Resolution policy, conservative in the only direction that matters for a
+// linter (extra edges, never missing ones we can compute):
+//
+//   - Static calls: an *ast.Ident or *ast.SelectorExpr callee resolves to
+//     its *types.Func; calls into packages we did not load (the standard
+//     library) become terminal edges carrying just the callee object.
+//   - Method sets: a call through an interface method adds edges to every
+//     method of every named module type whose (pointer) method set
+//     implements the interface — the classic class-hierarchy analysis
+//     approximation.
+//   - Function values: a call through a variable, field, or parameter of
+//     function type cannot be resolved and produces no edge. The damage is
+//     bounded because function literals are attributed to the function
+//     that lexically encloses them: `go func(){...}()` and stored closures
+//     contribute their bodies to the enclosing declaration's node, so
+//     their calls stay reachable whenever the declaring function is.
+//     Escaping named functions passed as values are the remaining blind
+//     spot, documented in DESIGN.md as a known false-negative class.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// callSite is one resolved outgoing call.
+type callSite struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// cgNode is one module function with a body.
+type cgNode struct {
+	fn    *types.Func
+	pkg   *Package
+	calls []callSite
+}
+
+// callGraph indexes the module's functions and their resolved calls.
+type callGraph struct {
+	nodes map[*types.Func]*cgNode
+	// moduleTypes are the named non-interface types declared anywhere in
+	// the loaded packages, for interface-method expansion.
+	moduleTypes []*types.Named
+}
+
+// buildCallGraph constructs the graph over every loaded package.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{nodes: map[*types.Func]*cgNode{}}
+	for _, pkg := range pkgs {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok && !types.IsInterface(named) {
+					g.moduleTypes = append(g.moduleTypes, named)
+				}
+			}
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &cgNode{fn: fn, pkg: pkg}
+				collectCalls(pkg.Info, fd.Body, node)
+				g.nodes[fn] = node
+			}
+		}
+	}
+	// Deterministic type order for interface expansion.
+	sort.Slice(g.moduleTypes, func(i, j int) bool {
+		return typeKey(g.moduleTypes[i]) < typeKey(g.moduleTypes[j])
+	})
+	return g
+}
+
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "." + obj.Name()
+}
+
+// collectCalls records every statically resolvable call under n, including
+// calls inside function literals (attributed to the enclosing declaration).
+func collectCalls(info *types.Info, body ast.Node, node *cgNode) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := funcObjOf(info, call.Fun); fn != nil {
+			node.calls = append(node.calls, callSite{callee: fn, pos: call.Pos()})
+		}
+		return true
+	})
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// implementations expands an interface method to the concrete module
+// methods that can stand behind it, in deterministic order.
+func (g *callGraph) implementations(fn *types.Func) []*types.Func {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv().Type()
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, named := range g.moduleTypes {
+		var impl types.Type = named
+		if !types.Implements(impl, iface) {
+			impl = types.NewPointer(named)
+			if !types.Implements(impl, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, fn.Pkg(), fn.Name())
+		if m, ok := obj.(*types.Func); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// funcDisplayName renders fn for diagnostics: pkg.Func, pkg.Type.Method,
+// or pkg.(*Type).Method, matching how a reader would grep for it.
+func funcDisplayName(fn *types.Func) string {
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkgName + fn.Name()
+	}
+	recv := sig.Recv().Type()
+	ptr := ""
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+		ptr = "*"
+	}
+	base := recv.String()
+	if named, isNamed := recv.(*types.Named); isNamed {
+		base = named.Obj().Name()
+	}
+	if ptr != "" {
+		return fmt.Sprintf("%s(*%s).%s", pkgName, base, fn.Name())
+	}
+	return pkgName + base + "." + fn.Name()
+}
+
+// entrySpec is one parsed entry-point pattern: "pkgpath.Func" or
+// "pkgpath.Type.Method" (interface types expand to implementations).
+type entrySpec struct {
+	pkgPath string
+	typ     string // "" for package-level functions
+	name    string
+}
+
+// parseEntrySpec splits an entry-point pattern. The import path runs
+// through the last '/'; the dotted tail is pkgname.Func or
+// pkgname.Type.Method.
+func parseEntrySpec(s string) (entrySpec, error) {
+	slash := strings.LastIndex(s, "/")
+	head, tail := "", s
+	if slash >= 0 {
+		head, tail = s[:slash+1], s[slash+1:]
+	}
+	parts := strings.Split(tail, ".")
+	switch len(parts) {
+	case 2:
+		return entrySpec{pkgPath: head + parts[0], name: parts[1]}, nil
+	case 3:
+		return entrySpec{pkgPath: head + parts[0], typ: parts[1], name: parts[2]}, nil
+	}
+	return entrySpec{}, fmt.Errorf("entry point %q: want pkgpath.Func or pkgpath.Type.Method", s)
+}
+
+// resolveEntry finds the functions an entry spec names among the loaded
+// packages: one package-level function, one concrete method, or — for an
+// interface method — every module implementation of it.
+func (g *callGraph) resolveEntry(pkgs []*Package, spec entrySpec) []*types.Func {
+	for _, pkg := range pkgs {
+		if pkg.Path != spec.pkgPath {
+			continue
+		}
+		scope := pkg.Pkg.Scope()
+		if spec.typ == "" {
+			if fn, ok := scope.Lookup(spec.name).(*types.Func); ok {
+				return []*types.Func{fn}
+			}
+			return nil
+		}
+		tn, ok := scope.Lookup(spec.typ).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		if types.IsInterface(named) {
+			obj, _, _ := types.LookupFieldOrMethod(named, true, pkg.Pkg, spec.name)
+			if m, ok := obj.(*types.Func); ok {
+				return g.implementations(m)
+			}
+			return nil
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pkg.Pkg, spec.name)
+		if m, ok := obj.(*types.Func); ok {
+			return []*types.Func{m}
+		}
+	}
+	return nil
+}

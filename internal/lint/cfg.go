@@ -1,0 +1,453 @@
+package lint
+
+// Intraprocedural control-flow graph construction. The flow-sensitive
+// analyzers (lockcheck today; anything path-dependent tomorrow) need to
+// reason about "every path out of the function", which the syntactic
+// per-statement walks of the original rules cannot express. This builder
+// lowers one function body to basic blocks over the full Go statement
+// repertoire: if/else, for (cond/post/infinite), range, switch (expr and
+// type, with fallthrough), select, labeled break/continue, goto, defer,
+// and return.
+//
+// Shape choices, documented in DESIGN.md ("Flow-sensitive analyzers"):
+//
+//   - Statements are the unit: a block holds whole ast.Stmt values in
+//     source order. Short-circuit evaluation inside expressions is NOT
+//     split into blocks; an analyzer that needs per-expression flow must
+//     walk the statement itself.
+//   - panic(...) terminates its block with no successors: a panicking path
+//     never reaches the function's ordinary exits, and flagging state held
+//     at a deliberate crash would be noise.
+//   - A select with no default blocks until a case fires, so its only
+//     successors are its comm clauses; select{} (no cases at all) blocks
+//     forever and terminates the block.
+//   - defer is recorded in order as a plain statement; analyzers that care
+//     about deferred effects (lockcheck) collect DeferStmts themselves and
+//     treat them flow-insensitively, which is conservative for conditional
+//     defers.
+//
+// The graph always has a single synthetic exit block; every return and the
+// natural end of the body edge into it.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one basic block: statements that execute in sequence, then a
+// transfer to one of succs. A block with no successors terminates the
+// function abnormally (panic, select{}, or an infinite loop with no break).
+type cfgBlock struct {
+	index int
+	stmts []ast.Stmt
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // synthetic: every normal way out of the function
+	blocks []*cfgBlock
+}
+
+// preds computes the predecessor lists of every block.
+func (g *funcCFG) preds() map[*cfgBlock][]*cfgBlock {
+	p := make(map[*cfgBlock][]*cfgBlock, len(g.blocks))
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			p[s] = append(p[s], b)
+		}
+	}
+	return p
+}
+
+// cfgBuilder carries the construction state: the current block under
+// extension and the break/continue/goto resolution stacks.
+type cfgBuilder struct {
+	info   infoResolver
+	blocks []*cfgBlock
+	cur    *cfgBlock
+	exit   *cfgBlock
+
+	// breakTo / continueTo are stacks of enclosing targets; label is ""
+	// for the plain statement and the statement's label when it is the
+	// direct child of a labeled statement.
+	breakTo    []jumpTarget
+	continueTo []jumpTarget
+
+	// labels maps a label name to the block that starts the labeled
+	// statement, for goto. Forward gotos are resolved at the end.
+	labels  map[string]*cfgBlock
+	pending []pendingGoto
+
+	// nextLabel holds the label of the immediately enclosing LabeledStmt
+	// while its child statement is lowered, so for/switch/select register
+	// labeled break/continue targets.
+	nextLabel string
+}
+
+// infoResolver is the slice of *types.Info the builder needs: just enough
+// to recognize panic(...). Narrowed to an interface so cfg_test can build
+// graphs without a full type-check.
+type infoResolver interface {
+	isPanic(call *ast.CallExpr) bool
+}
+
+type jumpTarget struct {
+	label string
+	block *cfgBlock
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+	pos   token.Pos
+}
+
+// buildCFG lowers body to a control-flow graph. info may be nil, in which
+// case any call to an identifier literally named "panic" terminates the
+// block (the no-type-info approximation used by the builder's own tests).
+func buildCFG(body *ast.BlockStmt, info infoResolver) *funcCFG {
+	b := &cfgBuilder{info: info, labels: map[string]*cfgBlock{}}
+	b.exit = b.newBlock() // index 0: conventional, assigned last below
+	b.cur = b.newBlock()
+	entry := b.cur
+	b.stmtList(body.List)
+	// Natural fallthrough off the end of the body returns.
+	b.jump(b.exit)
+	for _, pg := range b.pending {
+		if target, ok := b.labels[pg.label]; ok {
+			addEdge(pg.from, target)
+		}
+		// An unresolved goto is a parse/type error upstream; nothing to do.
+	}
+	g := &funcCFG{entry: entry, exit: b.exit, blocks: b.blocks}
+	for i, blk := range g.blocks {
+		blk.index = i
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func addEdge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// jump ends the current block with an edge to target and leaves the builder
+// on a fresh (initially unreachable) block for any dead code that follows.
+func (b *cfgBuilder) jump(target *cfgBlock) {
+	addEdge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+// terminate ends the current block with no successors (panic, select{}).
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, st := range list {
+		b.stmt(st)
+	}
+}
+
+// takeLabel consumes the pending enclosing label, returning "" when the
+// statement is not the direct child of a LabeledStmt.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgBlock) {
+	b.breakTo = append(b.breakTo, jumpTarget{"", brk})
+	b.continueTo = append(b.continueTo, jumpTarget{"", cont})
+	if label != "" {
+		b.breakTo = append(b.breakTo, jumpTarget{label, brk})
+		b.continueTo = append(b.continueTo, jumpTarget{label, cont})
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-n]
+	b.continueTo = b.continueTo[:len(b.continueTo)-n]
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *cfgBlock) {
+	b.breakTo = append(b.breakTo, jumpTarget{"", brk})
+	if label != "" {
+		b.breakTo = append(b.breakTo, jumpTarget{label, brk})
+	}
+}
+
+func (b *cfgBuilder) popBreak(label string) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-n]
+}
+
+func (b *cfgBuilder) findTarget(stack []jumpTarget, label string) *cfgBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		b.takeLabel()
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts a fresh block so goto/continue can
+		// land on it.
+		start := b.newBlock()
+		b.jump(start)
+		b.cur = start
+		b.labels[s.Label.Name] = start
+		b.nextLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.nextLabel = ""
+
+	case *ast.ReturnStmt:
+		b.takeLabel()
+		b.cur.stmts = append(b.cur.stmts, s)
+		b.jump(b.exit)
+
+	case *ast.BranchStmt:
+		b.takeLabel()
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(b.breakTo, label); t != nil {
+				b.jump(t)
+			} else {
+				b.terminate()
+			}
+		case token.CONTINUE:
+			if t := b.findTarget(b.continueTo, label); t != nil {
+				b.jump(t)
+			} else {
+				b.terminate()
+			}
+		case token.GOTO:
+			b.pending = append(b.pending, pendingGoto{from: b.cur, label: label, pos: s.Pos()})
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch lowering; reaching one
+			// here (outside a switch) is invalid Go. Ignore.
+		}
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.cur.stmts = append(b.cur.stmts, s.Init)
+		}
+		// The condition evaluates in the current block; record the if
+		// itself so analyzers can inspect the cond expression.
+		b.cur.stmts = append(b.cur.stmts, s)
+		condBlock := b.cur
+		after := b.newBlock()
+
+		b.cur = b.newBlock()
+		addEdge(condBlock, b.cur)
+		b.stmtList(s.Body.List)
+		b.jump(after)
+
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			addEdge(condBlock, b.cur)
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			addEdge(condBlock, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.stmts = append(b.cur.stmts, s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			head.stmts = append(head.stmts, s) // cond evaluates here
+			addEdge(head, after)
+		}
+		body := b.newBlock()
+		addEdge(head, body)
+		b.cur = body
+		b.pushLoop(label, after, post)
+		b.stmtList(s.Body.List)
+		b.popLoop(label)
+		b.jump(post)
+		b.cur = post
+		if s.Post != nil {
+			post.stmts = append(post.stmts, s.Post)
+		}
+		addEdge(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		after := b.newBlock()
+		// The ranged expression evaluates once on entry; the per-iteration
+		// assignment happens at head.
+		b.cur.stmts = append(b.cur.stmts, s)
+		b.jump(head)
+		b.cur = head
+		addEdge(head, after) // range may be empty / exhausted
+		body := b.newBlock()
+		addEdge(head, body)
+		b.cur = body
+		b.pushLoop(label, after, head)
+		b.stmtList(s.Body.List)
+		b.popLoop(label)
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s, caseBodies(s.Body), hasDefaultClause(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, s, caseBodies(s.Body), hasDefaultClause(s.Body))
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		head := b.cur
+		head.stmts = append(head.stmts, s)
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever.
+			b.terminate()
+			return
+		}
+		b.pushBreak(label, after)
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			b.cur = b.newBlock()
+			addEdge(head, b.cur)
+			if comm.Comm != nil {
+				b.cur.stmts = append(b.cur.stmts, comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.jump(after)
+		}
+		b.popBreak(label)
+		// No default: the select blocks until a case fires, so there is
+		// deliberately no head→after edge either way — every path runs
+		// one clause.
+		b.cur = after
+
+	case *ast.ExprStmt:
+		b.takeLabel()
+		b.cur.stmts = append(b.cur.stmts, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.callIsPanic(call) {
+			b.terminate()
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.takeLabel()
+		b.cur.stmts = append(b.cur.stmts, st)
+
+	default:
+		b.takeLabel()
+		b.cur.stmts = append(b.cur.stmts, st)
+	}
+}
+
+// switchStmt lowers expression and type switches: every case body is a
+// successor of the head; fallthrough chains a case body into the next one;
+// a missing default adds the head→after edge.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, sw ast.Stmt, bodies [][]ast.Stmt, hasDefault bool) {
+	label := b.takeLabel()
+	if init != nil {
+		b.cur.stmts = append(b.cur.stmts, init)
+	}
+	b.cur.stmts = append(b.cur.stmts, sw) // tag evaluates here
+	head := b.cur
+	after := b.newBlock()
+	if !hasDefault || len(bodies) == 0 {
+		addEdge(head, after)
+	}
+	b.pushBreak(label, after)
+	// Case body blocks are pre-created so fallthrough can edge forward.
+	caseBlocks := make([]*cfgBlock, len(bodies))
+	for i := range bodies {
+		caseBlocks[i] = b.newBlock()
+		addEdge(head, caseBlocks[i])
+	}
+	for i, body := range bodies {
+		b.cur = caseBlocks[i]
+		falls := false
+		for _, st := range body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if falls && i+1 < len(caseBlocks) {
+			b.jump(caseBlocks[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	b.popBreak(label)
+	b.cur = after
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) callIsPanic(call *ast.CallExpr) bool {
+	if b.info != nil {
+		return b.info.isPanic(call)
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

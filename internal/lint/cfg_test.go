@@ -1,0 +1,263 @@
+package lint
+
+// Structural tests for the CFG builder. Graphs are built with a nil
+// infoResolver (any call literally named "panic" terminates its block), so
+// no type-checking is needed.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses `func f() { body }` and lowers it.
+func buildTestCFG(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body, nil)
+}
+
+// reachableFrom floods the graph from b.
+func reachableFrom(b *cfgBlock) map[*cfgBlock]bool {
+	seen := map[*cfgBlock]bool{b: true}
+	stack := []*cfgBlock{b}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func exitReachable(g *funcCFG) bool {
+	return reachableFrom(g.entry)[g.exit]
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildTestCFG(t, "x := 1\n_ = x")
+	if !exitReachable(g) {
+		t.Fatal("straight-line body must reach the exit")
+	}
+	if n := len(g.preds()[g.exit]); n != 1 {
+		t.Fatalf("exit preds = %d, want 1", n)
+	}
+	if len(g.entry.stmts) != 2 {
+		t.Fatalf("entry holds %d stmts, want 2", len(g.entry.stmts))
+	}
+}
+
+func TestCFGIfJoins(t *testing.T) {
+	// Both arms flow to the statement after the if, which returns.
+	g := buildTestCFG(t, "if c() {\n\ta()\n} else {\n\tb()\n}\nd()")
+	if !exitReachable(g) {
+		t.Fatal("if/else must reach the exit")
+	}
+	// Exactly one path into exit: the join block after the if.
+	if n := len(g.preds()[g.exit]); n != 1 {
+		t.Fatalf("exit preds = %d, want 1 (the join block)", n)
+	}
+}
+
+func TestCFGIfWithoutElseSkipsBody(t *testing.T) {
+	g := buildTestCFG(t, "if c() {\n\ta()\n}\nb()")
+	// The cond block must edge both into the body and around it.
+	var condBlock *cfgBlock
+	for _, blk := range g.blocks {
+		for _, st := range blk.stmts {
+			if _, ok := st.(*ast.IfStmt); ok {
+				condBlock = blk
+			}
+		}
+	}
+	if condBlock == nil {
+		t.Fatal("no block holds the IfStmt")
+	}
+	if len(condBlock.succs) != 2 {
+		t.Fatalf("cond block has %d successors, want 2 (body and join)", len(condBlock.succs))
+	}
+}
+
+func TestCFGReturnsEdgeToExit(t *testing.T) {
+	g := buildTestCFG(t, "if c() {\n\treturn\n}\nreturn")
+	// The builder leaves a dead block after the trailing return whose
+	// natural fallthrough also edges into exit; count live paths only.
+	live := reachableFrom(g.entry)
+	n := 0
+	for _, p := range g.preds()[g.exit] {
+		if live[p] {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("reachable exit preds = %d, want 2 (one per return)", n)
+	}
+}
+
+func TestCFGInfiniteLoopNeverExits(t *testing.T) {
+	g := buildTestCFG(t, "for {\n\tx()\n}")
+	if exitReachable(g) {
+		t.Fatal("for{} without break must not reach the exit")
+	}
+}
+
+func TestCFGLoopBreakExits(t *testing.T) {
+	g := buildTestCFG(t, "for {\n\tif c() {\n\t\tbreak\n\t}\n}")
+	if !exitReachable(g) {
+		t.Fatal("break must restore a path to the exit")
+	}
+}
+
+func TestCFGForCondLoops(t *testing.T) {
+	g := buildTestCFG(t, "for i := 0; i < 3; i++ {\n\tx()\n}\ny()")
+	if !exitReachable(g) {
+		t.Fatal("conditional for must reach the exit")
+	}
+	// The head must participate in a cycle: some reachable block edges back
+	// into it.
+	var head *cfgBlock
+	for _, blk := range g.blocks {
+		for _, st := range blk.stmts {
+			if _, ok := st.(*ast.ForStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no block holds the ForStmt")
+	}
+	if !reachableFrom(head)[head] {
+		t.Fatal("loop head is not on a cycle")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildTestCFG(t, "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}")
+	if !exitReachable(g) {
+		t.Fatal("labeled break out of both loops must reach the exit")
+	}
+}
+
+func TestCFGGotoForwardAndBack(t *testing.T) {
+	g := buildTestCFG(t, "goto done\ndone:\nreturn")
+	if !exitReachable(g) {
+		t.Fatal("forward goto must reach the labeled return")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildTestCFG(t, "panic(\"boom\")")
+	if exitReachable(g) {
+		t.Fatal("a body that always panics must not reach the exit")
+	}
+}
+
+func TestCFGPanicBranchDropsPath(t *testing.T) {
+	g := buildTestCFG(t, "if c() {\n\tpanic(\"boom\")\n}\nx()")
+	if !exitReachable(g) {
+		t.Fatal("the non-panicking arm must still reach the exit")
+	}
+	// The panic block must have no successors.
+	for _, blk := range g.blocks {
+		for _, st := range blk.stmts {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if len(blk.succs) != 0 {
+						t.Fatalf("panic block has %d successors, want 0", len(blk.succs))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCFGSwitchWithoutDefaultSkips(t *testing.T) {
+	g := buildTestCFG(t, "switch v() {\ncase 1:\n\ta()\ncase 2:\n\tb()\n}\nx()")
+	var head *cfgBlock
+	for _, blk := range g.blocks {
+		for _, st := range blk.stmts {
+			if _, ok := st.(*ast.SwitchStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no block holds the SwitchStmt")
+	}
+	// head → case1, case2, and the after block (no default).
+	if len(head.succs) != 3 {
+		t.Fatalf("switch head has %d successors, want 3", len(head.succs))
+	}
+}
+
+func TestCFGSwitchFallthroughChains(t *testing.T) {
+	g := buildTestCFG(t, "switch v() {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\treturn\ndefault:\n\tb()\n}")
+	if !exitReachable(g) {
+		t.Fatal("switch must reach the exit")
+	}
+	// With a default present there is no head→after edge; the only paths to
+	// exit run through a case.
+	var head *cfgBlock
+	for _, blk := range g.blocks {
+		for _, st := range blk.stmts {
+			if _, ok := st.(*ast.SwitchStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if len(head.succs) != 3 {
+		t.Fatalf("switch head has %d successors, want 3 (each clause, no skip edge)", len(head.succs))
+	}
+}
+
+func TestCFGSelectBlocksWithoutDefault(t *testing.T) {
+	g := buildTestCFG(t, "select {\ncase <-a:\n\tx()\ncase b <- 1:\n\ty()\n}\nz()")
+	var head *cfgBlock
+	for _, blk := range g.blocks {
+		for _, st := range blk.stmts {
+			if _, ok := st.(*ast.SelectStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no block holds the SelectStmt")
+	}
+	// Without a default every path runs one comm clause: exactly two
+	// successors, no skip edge.
+	if len(head.succs) != 2 {
+		t.Fatalf("select head has %d successors, want 2", len(head.succs))
+	}
+	if !exitReachable(g) {
+		t.Fatal("select with cases must flow on to the exit")
+	}
+}
+
+func TestCFGEmptySelectTerminates(t *testing.T) {
+	g := buildTestCFG(t, "select {}\nx()")
+	if exitReachable(g) {
+		t.Fatal("select{} blocks forever; the exit must be unreachable")
+	}
+}
+
+func TestCFGRangeMayBeEmpty(t *testing.T) {
+	g := buildTestCFG(t, "for range xs() {\n\tx()\n}\ny()")
+	if !exitReachable(g) {
+		t.Fatal("range over a possibly-empty sequence must reach the exit")
+	}
+}

@@ -34,14 +34,28 @@ type allowDirective struct {
 	// line is the line the directive suppresses findings on.
 	line int
 	pos  token.Pos
+	// hit records whether this directive suppressed at least one finding in
+	// the current run; an unhit directive is stale (Config.Stale).
+	hit bool
 }
 
-// directiveSet indexes the allow directives of one package by file and line.
+// directiveSet indexes allow directives by file and line. One set spans the
+// whole run: module-level analyzers report across package boundaries, so
+// suppression lookup must too.
 type directiveSet struct {
-	// allows maps file name → line → rules allowed on that line.
-	allows map[string]map[int]map[string]bool
+	// allows maps file name → line → rule → directive on that line.
+	allows map[string]map[int]map[string]*allowDirective
+	// list holds every directive in the order encountered, for
+	// deterministic stale reporting.
+	list []*allowDirective
 }
 
+func newDirectiveSet() *directiveSet {
+	return &directiveSet{allows: map[string]map[int]map[string]*allowDirective{}}
+}
+
+// allowed reports whether a finding of rule at pos is suppressed, and marks
+// the suppressing directive as hit.
 func (d *directiveSet) allowed(pos token.Position, rule string) bool {
 	if d == nil {
 		return false
@@ -50,15 +64,18 @@ func (d *directiveSet) allowed(pos token.Position, rule string) bool {
 	if lines == nil {
 		return false
 	}
-	return lines[pos.Line][rule]
+	ad := lines[pos.Line][rule]
+	if ad == nil {
+		return false
+	}
+	ad.hit = true
+	return true
 }
 
 // parseDirectives scans every comment of pkg for raslint directives,
-// reporting malformed ones through report and returning the index of valid
-// suppressions. knownRules guards against suppressing rules that do not
-// exist.
-func parseDirectives(pkg *Package, knownRules map[string]bool, report func(pos token.Pos, rule, format string, args ...any)) *directiveSet {
-	set := &directiveSet{allows: map[string]map[int]map[string]bool{}}
+// reporting malformed ones through report and adding valid suppressions to
+// set. knownRules guards against suppressing rules that do not exist.
+func parseDirectives(pkg *Package, knownRules map[string]bool, set *directiveSet, report func(pos token.Pos, rule, format string, args ...any)) {
 	for _, file := range pkg.Files {
 		// Lines of this file that contain code, for the end-of-line vs
 		// standalone distinction.
@@ -73,21 +90,30 @@ func parseDirectives(pkg *Package, knownRules map[string]bool, report func(pos t
 				if !ok {
 					continue
 				}
-				lines := set.allows[pkg.Fset.Position(d.pos).Filename]
+				filename := pkg.Fset.Position(d.pos).Filename
+				lines := set.allows[filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					set.allows[pkg.Fset.Position(d.pos).Filename] = lines
+					lines = map[int]map[string]*allowDirective{}
+					set.allows[filename] = lines
 				}
 				rules := lines[d.line]
 				if rules == nil {
-					rules = map[string]bool{}
+					rules = map[string]*allowDirective{}
 					lines[d.line] = rules
 				}
-				rules[d.rule] = true
+				if rules[d.rule] != nil {
+					// Duplicate directive for the same rule and line (a
+					// test package re-parsing its non-test files lands
+					// here too): keep the first, which is the one findings
+					// will mark hit.
+					continue
+				}
+				ad := d
+				rules[ad.rule] = &ad
+				set.list = append(set.list, &ad)
 			}
 		}
 	}
-	return set
 }
 
 // parseDirective parses one comment. ok reports whether it was a valid allow

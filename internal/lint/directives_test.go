@@ -137,7 +137,8 @@ var c = 3 //raslint:allow bogus third
 `)
 	pkg := &Package{Path: "p", Name: "p", Fset: fset, Files: []*ast.File{file}}
 	var reported []string
-	set := parseDirectives(pkg, knownRuleSet(), func(pos token.Pos, rule, format string, args ...any) {
+	set := newDirectiveSet()
+	parseDirectives(pkg, knownRuleSet(), set, func(pos token.Pos, rule, format string, args ...any) {
 		p := fset.Position(pos)
 		reported = append(reported, fmt.Sprintf("%s@%s:%d", rule, p.Filename, p.Line))
 	})

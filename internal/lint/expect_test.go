@@ -53,18 +53,27 @@ func TestAnalyzersAgainstTestdata(t *testing.T) {
 	cases := []struct {
 		dir        string
 		importPath string
+		// cfg overrides the default empty Config for fixtures that exercise
+		// configured behavior (entry points, stale detection).
+		cfg *Config
 	}{
 		// Positive fixtures load under in-scope paths; _out fixtures load
 		// under out-of-scope paths and assert silence.
-		{"determinism", "ras/internal/mip"},
-		{"determinism_out", "ras/internal/experiments"},
-		{"mapiter", "ras/internal/solver"},
-		{"mapiter_out", "ras/internal/metrics"},
-		{"ctxflow", "ras/internal/broker"},
-		{"floatcmp", "ras/internal/lp"},
-		{"floatcmp_out", "ras/internal/localsearch"},
-		{"errdrop", "ras/internal/placer"},
-		{"directives", "ras/internal/directives"},
+		{dir: "determinism", importPath: "ras/internal/mip"},
+		{dir: "determinism_out", importPath: "ras/internal/experiments"},
+		{dir: "mapiter", importPath: "ras/internal/solver"},
+		{dir: "mapiter_out", importPath: "ras/internal/metrics"},
+		{dir: "ctxflow", importPath: "ras/internal/broker"},
+		{dir: "floatcmp", importPath: "ras/internal/lp"},
+		{dir: "floatcmp_out", importPath: "ras/internal/topology"},
+		{dir: "errdrop", importPath: "ras/internal/placer"},
+		{dir: "directives", importPath: "ras/internal/directives"},
+		{dir: "lockcheck", importPath: "ras/internal/lockcheck"},
+		{dir: "leakcheck", importPath: "ras/internal/mip"},
+		{dir: "leakcheck_out", importPath: "ras/internal/metrics"},
+		{dir: "calldeterminism", importPath: "ras/internal/app",
+			cfg: &Config{CalldeterminismEntries: []string{"ras/internal/app.Solve"}}},
+		{dir: "stale", importPath: "ras/internal/stale", cfg: &Config{Stale: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -73,7 +82,11 @@ func TestAnalyzersAgainstTestdata(t *testing.T) {
 				t.Fatalf("loading testdata/src/%s: %v", tc.dir, err)
 			}
 			wants := collectWants(t, pkg)
-			diags := Run(&Config{}, []*Package{pkg})
+			cfg := tc.cfg
+			if cfg == nil {
+				cfg = &Config{}
+			}
+			diags := Run(cfg, []*Package{pkg})
 			for _, d := range diags {
 				claimed := false
 				for _, w := range wants {

@@ -79,13 +79,42 @@ var analyzers = []*analyzer{
 		doc:  "forbid discarding error returns in statement position",
 		run:  runErrdrop,
 	},
+	{
+		name: "lockcheck",
+		doc:  "a mutex acquired on some CFG path must be released on every path out (or deferred); no mode mismatches or lock copies",
+		run:  runLockcheck,
+	},
+	{
+		name: "leakcheck",
+		doc:  "flag go-launched functions whose only exits are unguarded channel operations",
+		run:  runLeakcheck,
+	},
+}
+
+// moduleAnalyzers run once over the whole loaded package set instead of
+// package by package: call-graph reachability cannot be decided locally.
+type moduleAnalyzer struct {
+	name string
+	doc  string
+	run  func(cfg *Config, pkgs []*Package, report func(pkg *Package, pos token.Pos, format string, args ...any))
+}
+
+var moduleAnalyzersList = []*moduleAnalyzer{
+	{
+		name: "calldeterminism",
+		doc:  "flag solve-entry-point call paths that transitively reach time.Now or global math/rand outside internal/clock",
+		run:  runCalldeterminism,
+	},
 }
 
 // RuleNames lists every rule, including the synthetic "directive" rule that
 // reports malformed //raslint: comments.
 func RuleNames() []string {
-	names := make([]string, 0, len(analyzers)+1)
+	names := make([]string, 0, len(analyzers)+len(moduleAnalyzersList)+1)
 	for _, a := range analyzers {
+		names = append(names, a.name)
+	}
+	for _, a := range moduleAnalyzersList {
 		names = append(names, a.name)
 	}
 	names = append(names, "directive")
@@ -94,8 +123,11 @@ func RuleNames() []string {
 
 // RuleDocs maps rule name → one-line description.
 func RuleDocs() map[string]string {
-	docs := map[string]string{"directive": "malformed //raslint: directives"}
+	docs := map[string]string{"directive": "malformed or stale //raslint: directives"}
 	for _, a := range analyzers {
+		docs[a.name] = a.doc
+	}
+	for _, a := range moduleAnalyzersList {
 		docs[a.name] = a.doc
 	}
 	return docs
@@ -116,12 +148,27 @@ type Config struct {
 	// the same solve-stack packages.
 	MapiterScope []string
 	// FloatcmpScope lists the import paths checked by floatcmp. Nil selects
-	// the numerical core: internal/lp and internal/mip.
+	// the numerical core and the objective plumbing above it: internal/lp,
+	// internal/mip, internal/solver, internal/localsearch.
 	FloatcmpScope []string
 	// FloatcmpHelpers names the functions allowed to compare floats exactly
 	// (the designated tolerance/exact-zero helpers). Nil selects
 	// DefaultFloatcmpHelpers.
 	FloatcmpHelpers []string
+
+	// LeakcheckScope lists the import paths checked by leakcheck. Nil
+	// selects the goroutine-spawning solve packages: internal/mip,
+	// internal/localsearch, internal/backend.
+	LeakcheckScope []string
+	// CalldeterminismEntries names the solve entry points reachability
+	// starts from, as "pkgpath.Func" or "pkgpath.Type.Method" (interface
+	// methods expand to every module implementation). Nil selects the
+	// repository's Solve seams (see defaultSolveEntryPoints).
+	CalldeterminismEntries []string
+	// Stale, when set, reports every well-formed //raslint:allow directive
+	// that suppressed nothing in this run, under the "directive" rule, so
+	// annotations cannot outlive the finding they excuse.
+	Stale bool
 }
 
 // Default scopes, as import paths of this module.
@@ -136,6 +183,8 @@ var (
 	defaultFloatScope = []string{
 		"ras/internal/lp",
 		"ras/internal/mip",
+		"ras/internal/solver",
+		"ras/internal/localsearch",
 	}
 	// DefaultFloatcmpHelpers are the designated exact-comparison helper
 	// names: tiny, documented functions whose whole job is an intentional
@@ -188,7 +237,8 @@ func inScope(scope []string, path string) bool {
 // Run executes every enabled analyzer over pkgs and returns the surviving
 // findings sorted by position. Findings on lines carrying a matching
 // //raslint:allow directive are suppressed; malformed directives are
-// reported under the "directive" rule.
+// reported under the "directive" rule, and — with Config.Stale — so is
+// every well-formed directive that suppressed nothing.
 func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 	if cfg == nil {
 		cfg = &Config{}
@@ -198,9 +248,15 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 		known[name] = true
 	}
 
-	var diags []Diagnostic
+	// Phase 1: collect raw findings from every analyzer and the merged
+	// directive index of every package. Filtering is global because the
+	// module analyzers report across package boundaries.
+	var raw []Diagnostic
+	dirs := newDirectiveSet()
+	var fset *token.FileSet
 	for _, pkg := range pkgs {
-		var raw []Diagnostic
+		pkg := pkg
+		fset = pkg.Fset
 		collect := func(rule string) reportFunc {
 			return func(pos token.Pos, format string, args ...any) {
 				p := pkg.Fset.Position(pos)
@@ -213,7 +269,7 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 				})
 			}
 		}
-		dirs := parseDirectives(pkg, known, func(pos token.Pos, rule, format string, args ...any) {
+		parseDirectives(pkg, known, dirs, func(pos token.Pos, rule, format string, args ...any) {
 			collect(rule)(pos, format, args...)
 		})
 		for _, a := range analyzers {
@@ -222,11 +278,48 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 			}
 			a.run(cfg, pkg, collect(a.name))
 		}
-		for _, d := range raw {
-			if d.Rule != "directive" && dirs.allowed(token.Position{Filename: d.File, Line: d.Line}, d.Rule) {
+	}
+	for _, a := range moduleAnalyzersList {
+		if cfg.Disabled[a.name] {
+			continue
+		}
+		name := a.name
+		a.run(cfg, pkgs, func(pkg *Package, pos token.Pos, format string, args ...any) {
+			p := pkg.Fset.Position(pos)
+			raw = append(raw, Diagnostic{
+				File:    p.Filename,
+				Line:    p.Line,
+				Col:     p.Column,
+				Rule:    name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		})
+	}
+
+	// Phase 2: apply suppressions, marking each directive that fires.
+	var diags []Diagnostic
+	for _, d := range raw {
+		if d.Rule != "directive" && dirs.allowed(token.Position{Filename: d.File, Line: d.Line}, d.Rule) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+
+	// Phase 3: stale directives. A directive for a rule that was disabled
+	// this run proves nothing about staleness and is skipped.
+	if cfg.Stale && fset != nil {
+		for _, ad := range dirs.list {
+			if ad.hit || cfg.Disabled[ad.rule] {
 				continue
 			}
-			diags = append(diags, d)
+			p := fset.Position(ad.pos)
+			diags = append(diags, Diagnostic{
+				File:    p.Filename,
+				Line:    p.Line,
+				Col:     p.Column,
+				Rule:    "directive",
+				Message: fmt.Sprintf("stale //raslint:allow %s: it suppresses no %s finding; remove the directive", ad.rule, ad.rule),
+			})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

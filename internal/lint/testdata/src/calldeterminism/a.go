@@ -1,0 +1,48 @@
+// Fixture for the calldeterminism analyzer. Loaded under "ras/internal/app"
+// — outside the per-package determinism time scope, so the direct time.Now
+// calls below are invisible to the determinism rule and every finding here
+// is reachability-based. The test config names ras/internal/app.Solve as
+// the sole entry point.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+type ticker interface {
+	tick()
+}
+
+type realTicker struct{}
+
+func (realTicker) tick() {
+	_ = time.Now() // want `solve path app\.Solve → app\.realTicker\.tick → time\.Now reaches time\.Now`
+}
+
+func Solve() {
+	helper()
+	var t ticker = realTicker{}
+	t.tick()
+	_ = seeded()
+}
+
+func helper() {
+	_ = stamp()
+}
+
+func stamp() time.Time {
+	return time.Now() // want `solve path app\.Solve → app\.helper → app\.stamp → time\.Now reaches time\.Now`
+}
+
+// Negative: seeded sources and their methods are deterministic.
+func seeded() int {
+	rng := rand.New(rand.NewSource(7))
+	return rng.Intn(4)
+}
+
+// Negative: reads the wall clock but is not reachable from Solve, and the
+// package is outside the determinism time scope — no finding.
+func offThePath() time.Time {
+	return time.Now()
+}

@@ -1,5 +1,6 @@
-// Negative fixture: loaded under "ras/internal/localsearch", which is outside
-// the floatcmp scope (the rule covers the numerical core only).
+// Negative fixture: loaded under "ras/internal/topology", which is outside
+// the floatcmp scope (the rule covers the numerical core and the objective
+// plumbing above it, not the topology model).
 package floatcmpout
 
 func eq(a, b float64) bool {

@@ -1,0 +1,70 @@
+// Fixture for the leakcheck analyzer, loaded under "ras/internal/mip" so
+// the goroutine-spawning solve scope applies.
+package leakcheck
+
+import "context"
+
+func produce(ch chan int) {
+	ch <- 1
+}
+
+// Positive: the literal's only exit is an unguarded send.
+func spawnLeak(ch chan int) {
+	go func() { // want `goroutine's only exits are unguarded channel operations`
+		ch <- 1
+	}()
+}
+
+// Positive: same-package named functions are analyzed through the go
+// statement too.
+func spawnNamedLeak(ch chan int) {
+	go produce(ch) // want `goroutine's only exits are unguarded channel operations`
+}
+
+// Positive: ranging over a channel blocks until the peer closes it.
+func spawnRangeLeak(ch chan int) {
+	go func() { // want `goroutine's only exits are unguarded channel operations`
+		for range ch {
+		}
+	}()
+}
+
+// Negative: the select can always take the cancellation arm.
+func spawnGuardedSelect(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// Negative: a default clause means the select never blocks.
+func spawnDefault(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// Negative: a direct ctx.Done() receive is an escape hatch for the whole
+// body (the analysis is body-wide, not path-wise — see DESIGN.md).
+func spawnDirectDone(ctx context.Context, ch chan int) {
+	go func() {
+		ch <- 1
+		<-ctx.Done()
+	}()
+}
+
+// Negative: no channel operations at all.
+func spawnPure(vals []int) {
+	go func() {
+		total := 0
+		for _, v := range vals {
+			total += v
+		}
+		_ = total
+	}()
+}

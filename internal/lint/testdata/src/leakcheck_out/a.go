@@ -1,0 +1,10 @@
+// Negative fixture: loaded under "ras/internal/metrics", which is outside
+// the leakcheck scope — the rule covers the goroutine-spawning solve
+// packages only.
+package leakcheckout
+
+func spawn(ch chan int) {
+	go func() {
+		ch <- 1 // out of scope: no finding
+	}()
+}

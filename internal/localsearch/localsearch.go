@@ -58,6 +58,11 @@ type Config struct {
 	SoftPenalty   float64
 }
 
+// exactZero reports whether v is exactly zero — the zero-value "knob unset"
+// sentinel in Config and Policy fields. A raslint floatcmp designated
+// helper.
+func exactZero(v float64) bool { return v == 0 }
+
 func (c Config) withDefaults(region *topology.Region) Config {
 	if c.TimeLimit == 0 {
 		c.TimeLimit = 2 * time.Second
@@ -68,22 +73,22 @@ func (c Config) withDefaults(region *topology.Region) Config {
 	if c.Candidates == 0 {
 		c.Candidates = 48
 	}
-	if c.AlphaMSB == 0 {
+	if exactZero(c.AlphaMSB) {
 		c.AlphaMSB = clamp(1.5/float64(maxInt(region.NumMSBs, 1)), 0.05, 1)
 	}
-	if c.Beta == 0 {
+	if exactZero(c.Beta) {
 		c.Beta = 3
 	}
-	if c.Tau == 0 {
+	if exactZero(c.Tau) {
 		c.Tau = 3
 	}
-	if c.MoveCostInUse == 0 {
+	if exactZero(c.MoveCostInUse) {
 		c.MoveCostInUse = 10
 	}
-	if c.MoveCostIdle == 0 {
+	if exactZero(c.MoveCostIdle) {
 		c.MoveCostIdle = 1
 	}
-	if c.SoftPenalty == 0 {
+	if exactZero(c.SoftPenalty) {
 		c.SoftPenalty = 1000
 	}
 	return c
@@ -409,7 +414,7 @@ func (s *state) resObjective(ri int) float64 {
 	maxMSB := 0.0
 	spread := 0.0
 	alpha := r.Policy.SpreadMSB
-	if alpha == 0 {
+	if exactZero(alpha) {
 		alpha = s.cfg.AlphaMSB
 	}
 	for _, v := range s.loadMSB[ri] {

@@ -5,6 +5,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"ras/internal/clock"
 )
 
 // TestMarkPenaltyExposesViolation: without MarkPenalty the repair heuristic
@@ -81,7 +83,10 @@ func TestDiveRollback(t *testing.T) {
 }
 
 // TestTimeLimitRespected: a generous assignment model with a tiny time
-// budget must return promptly with a valid status.
+// budget must stop at the deadline. Time is logical, not wall: a
+// clock.Stepper advances 1ms per Now read, so the engine's per-node
+// deadline poll runs out of budget after a deterministic number of nodes
+// and the test neither sleeps nor measures real elapsed time.
 func TestTimeLimitRespected(t *testing.T) {
 	m := NewModel()
 	var terms []Term
@@ -90,15 +95,22 @@ func TestTimeLimitRespected(t *testing.T) {
 		terms = append(terms, Term{v, float64(1 + i%4)})
 	}
 	m.AddConstr("cap", terms, LE, 50)
-	start := time.Now()
+	step := clock.NewStepper(time.Unix(0, 0), time.Millisecond)
+	defer clock.Override(step)()
 	r := m.Solve(context.Background(), Options{TimeLimit: 50 * time.Millisecond})
-	if e := time.Since(start); e > 2*time.Second {
-		t.Fatalf("solve ran %v past a 50ms limit", e)
-	}
 	switch r.Status {
 	case Optimal, Feasible, NoSolution, Unbounded:
 	default:
 		t.Fatalf("status %v", r.Status)
+	}
+	// SolveTime is read off the same stepper: the solve either finished
+	// within budget or stopped at the first poll past the deadline, so
+	// logical elapsed time can exceed the limit by at most a few reads.
+	if r.SolveTime > 60*time.Millisecond {
+		t.Fatalf("solve consumed %v of logical time against a 50ms limit", r.SolveTime)
+	}
+	if step.Reads() == 0 {
+		t.Fatal("solve never consulted the clock seam")
 	}
 }
 

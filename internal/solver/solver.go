@@ -47,6 +47,16 @@ import (
 // visibility hook (§5.3: explain capacity decisions to service owners).
 var debugSlack = os.Getenv("RAS_DEBUG_SLACK") != ""
 
+// exactZero reports whether v is exactly zero — the zero-value "knob unset"
+// sentinel in Config and Policy fields. A raslint floatcmp designated
+// helper.
+func exactZero(v float64) bool { return v == 0 }
+
+// exactEqual reports whether a and b are exactly equal, for values copied
+// from the same store (per-reservation excess tallies used as sort keys).
+// A raslint floatcmp designated helper.
+func exactEqual(a, b float64) bool { return a == b }
+
 // Config tunes the solver. Zero values select documented defaults.
 type Config struct {
 	// AlphaMSB is αF, the fraction of a reservation's capacity allowed in
@@ -120,28 +130,28 @@ type Config struct {
 }
 
 func (c Config) withDefaults(region *topology.Region) Config {
-	if c.AlphaMSB == 0 {
+	if exactZero(c.AlphaMSB) {
 		c.AlphaMSB = clamp(1.5/float64(max(region.NumMSBs, 1)), 0.05, 1)
 	}
-	if c.AlphaRack == 0 {
+	if exactZero(c.AlphaRack) {
 		c.AlphaRack = clamp(4/float64(max(region.NumRacks, 1)), 0.01, 1)
 	}
-	if c.Beta == 0 {
+	if exactZero(c.Beta) {
 		c.Beta = 3
 	}
-	if c.Tau == 0 {
+	if exactZero(c.Tau) {
 		c.Tau = 3
 	}
-	if c.MoveCostInUse == 0 {
+	if exactZero(c.MoveCostInUse) {
 		c.MoveCostInUse = 10
 	}
-	if c.MoveCostIdle == 0 {
+	if exactZero(c.MoveCostIdle) {
 		c.MoveCostIdle = 1
 	}
-	if c.SoftPenalty == 0 {
+	if exactZero(c.SoftPenalty) {
 		c.SoftPenalty = 1000
 	}
-	if c.AffinityTheta == 0 {
+	if exactZero(c.AffinityTheta) {
 		c.AffinityTheta = 0.05
 	}
 	if c.Phase1TimeLimit == 0 {
@@ -156,10 +166,10 @@ func (c Config) withDefaults(region *topology.Region) Config {
 	if c.Phase2MaxVars == 0 {
 		c.Phase2MaxVars = 20000
 	}
-	if c.Phase2ResFraction == 0 {
+	if exactZero(c.Phase2ResFraction) {
 		c.Phase2ResFraction = 0.1
 	}
-	if c.SharedBufferFraction == 0 {
+	if exactZero(c.SharedBufferFraction) {
 		c.SharedBufferFraction = 0.02
 	}
 	return c
@@ -694,7 +704,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 		var env mip.Var = -1
 		initEnv := 0.0
 		alphaF := s.res.Policy.SpreadMSB
-		if alphaF == 0 {
+		if exactZero(alphaF) {
 			alphaF = cfg.AlphaMSB
 		}
 		if !s.isBuffer {
@@ -728,7 +738,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 			// (2) rack spread, phase 2 only.
 			if rackLevel {
 				alphaK := s.res.Policy.SpreadRack
-				if alphaK == 0 {
+				if exactZero(alphaK) {
 					alphaK = cfg.AlphaRack
 				}
 				for _, rk := range racks {
@@ -763,7 +773,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 		// (7) network affinity per DC, softened symmetrically.
 		if len(s.res.Policy.DCAffinity) > 0 {
 			theta := s.res.Policy.AffinityTheta
-			if theta == 0 {
+			if exactZero(theta) {
 				theta = cfg.AffinityTheta
 			}
 			for dc := 0; dc < in.Region.NumDCs; dc++ {
@@ -978,7 +988,7 @@ func pickPhase2(in Input, cfg Config, specs []resSpec, targets []reservation.ID)
 		classByID[s.outID] = s.res.Class
 		countBased[s.outID] = s.countBased
 		a := s.res.Policy.SpreadRack
-		if a == 0 {
+		if exactZero(a) {
 			a = cfg.AlphaRack
 		}
 		alphaByID[s.outID] = a
@@ -1019,7 +1029,7 @@ func pickPhase2(in Input, cfg Config, specs []resSpec, targets []reservation.ID)
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].excess != cands[j].excess {
+		if !exactEqual(cands[i].excess, cands[j].excess) {
 			return cands[i].excess > cands[j].excess
 		}
 		return cands[i].id < cands[j].id
