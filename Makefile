@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race smoke bench bench-baseline
+.PHONY: check fmt vet lint build test race smoke bench bench-baseline bench-compare bench-compare-short profile
 
 check: fmt vet lint build test race smoke
 
@@ -49,3 +49,21 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench 'BenchmarkBackend' -benchtime 3x -count 1 . \
 		| $(GO) run ./cmd/benchjson > BENCH_solver.json
 	@echo "wrote BENCH_solver.json"
+
+# Diff a fresh benchmark run against the committed baseline and print
+# per-metric deltas (informational: absolute numbers are machine-dependent).
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkBackend' -benchtime 3x -count 1 . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_solver.json
+
+# CI variant: a single iteration of the serial MIP bench, still piped through
+# the compare path, so the benchmarks and the diff tooling cannot rot.
+bench-compare-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkBackendMIP' -benchtime 1x -count 1 . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_solver.json
+
+# Profile one synthetic serial solve; inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/rassolve -synthetic -dcs 2 -msbs 3 -reservations 4 -workers 1 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"

@@ -9,13 +9,24 @@
 //
 //	jq -r '.benchfmt_lines[]' BENCH_solver.json > old.txt
 //	benchstat old.txt new.txt
+//
+// With -compare FILE, the stdin results are instead diffed against the
+// baseline JSON in FILE and printed as an aligned per-metric delta table
+// (negative deltas are improvements for cost metrics like ns/op, B/op, and
+// allocs/op). The comparison is informational — it never fails — because
+// absolute numbers are machine-dependent; it exists so perf PRs have a
+// one-command report and CI keeps the bench + tooling path compiling and
+// parsing.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +49,9 @@ type Baseline struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline JSON file to diff the stdin results against")
+	flag.Parse()
+
 	var out Baseline
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -69,12 +83,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *compare != "" {
+		if err := printComparison(os.Stdout, *compare, out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// printComparison diffs cur against the baseline JSON at path and writes an
+// aligned per-metric delta table. Benchmarks present on only one side are
+// listed so renames don't vanish silently.
+func printComparison(w *os.File, path string, cur Baseline) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %v", path, err)
+	}
+	baseBy := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	fmt.Fprintf(w, "baseline: %s (%s)\n", path, base.CPU)
+	fmt.Fprintf(w, "%-46s %-12s %14s %14s %9s\n", "benchmark", "metric", "baseline", "current", "delta")
+	matched := make(map[string]bool, len(cur.Benchmarks))
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-46s (not in baseline)\n", c.Name)
+			continue
+		}
+		matched[b.Name] = true
+		units := make([]string, 0, len(c.Metrics))
+		for u := range c.Metrics {
+			if _, both := b.Metrics[u]; both {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			bv, cv := b.Metrics[u], c.Metrics[u]
+			delta := "n/a"
+			if bv != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (cv-bv)/math.Abs(bv)*100)
+			}
+			fmt.Fprintf(w, "%-46s %-12s %14.5g %14.5g %9s\n", c.Name, u, bv, cv, delta)
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if !matched[b.Name] {
+			fmt.Fprintf(w, "%-46s (baseline only: not run)\n", b.Name)
+		}
+	}
+	return nil
 }
 
 // parseBenchLine parses "BenchmarkName-8  N  v1 unit1  v2 unit2 ...".

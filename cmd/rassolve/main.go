@@ -28,11 +28,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -41,6 +43,7 @@ import (
 	"ras/internal/backend"
 	"ras/internal/broker"
 	"ras/internal/hardware"
+	"ras/internal/metrics"
 	"ras/internal/reservation"
 	"ras/internal/solver"
 	"ras/internal/topology"
@@ -111,8 +114,36 @@ func main() {
 			"solve parallelism: branch-and-bound workers (mip) or climb starts (localsearch); 1 = serial")
 		beName = flag.String("backend", backend.DefaultName,
 			"solver backend ("+strings.Join(backend.Names(), ", ")+")")
+		verbose    = flag.Bool("v", false, "print solver and LP counters to stderr after the solve")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("rassolve: -cpuprofile: %v", err)
+		}
+		defer f.Close() //raslint:allow errdrop profile file close error after StopCPUProfile is uninteresting
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("rassolve: -cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("rassolve: -memprofile: %v", err)
+			}
+			defer f.Close() //raslint:allow errdrop profile file close error is reported by WriteHeapProfile path
+			runtime.GC()    // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("rassolve: -memprofile: %v", err)
+			}
+		}()
+	}
 
 	var doc inputDoc
 	switch {
@@ -223,6 +254,24 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
 	}
+	if *verbose {
+		printCounters(os.Stderr)
+	}
+}
+
+// printCounters dumps the process-wide solver and LP counters — the solve
+// hot-path instrumentation of internal/metrics — in a stable, greppable
+// key=value layout.
+func printCounters(w io.Writer) {
+	s, l := &metrics.Solver, &metrics.LP
+	fmt.Fprintf(w, "solver: solves=%d workers=%d nodes=%d incumbents=%d heuristic_wins=%d round_warm_hits=%d round_warm_misses=%d\n",
+		s.Solves.Value(), s.WorkersUsed.Value(), s.NodesExplored.Value(),
+		s.IncumbentUpdates.Value(), s.HeuristicWins.Value(),
+		s.RoundWarmHits.Value(), s.RoundWarmMisses.Value())
+	fmt.Fprintf(w, "lp: solves=%d iters=%d dual_iters=%d refactorizations=%d workspace_reuses=%d warm_hits=%d warm_misses=%d\n",
+		l.Solves.Value(), l.Iterations.Value(), l.DualIterations.Value(),
+		l.Refactorizations.Value(), l.WorkspaceReuses.Value(),
+		l.WarmHits.Value(), l.WarmMisses.Value())
 }
 
 func toStats(p solver.PhaseStats) statsOut {

@@ -46,6 +46,23 @@ type Options struct {
 	// means runtime.NumCPU() — backends exploit the whole machine unless
 	// told otherwise; 1 forces the exact serial engines.
 	Workers int
+	// Warm carries cross-round warm-start state: pass the previous round's
+	// Result.Warm so consecutive solves of the continuous-optimization loop
+	// amortize work (root-LP bases for the MIP backend, the last assignment
+	// for local search). nil — or state from a differently shaped problem —
+	// solves cold. Each backend reads only its own field, so one WarmState
+	// can be threaded through rounds that switch backends.
+	Warm *WarmState
+}
+
+// WarmState is the backend-independent container for cross-round warm-start
+// state. A backend populates its own field in Result.Warm and consumes the
+// same field from Options.Warm; foreign fields pass through untouched.
+type WarmState struct {
+	// MIP is the two-phase solver's persisted root bases.
+	MIP *solver.WarmState
+	// LocalSearch is the last local-search assignment.
+	LocalSearch *localsearch.WarmState
 }
 
 // workers resolves the Workers knob: zero → NumCPU, floor 1.
@@ -132,6 +149,11 @@ type Result struct {
 	MIP *solver.Result
 	// LocalSearch carries the search detail; set iff that backend ran.
 	LocalSearch *localsearch.Result
+
+	// Warm is the cross-round warm-start state to feed the next round's
+	// Options.Warm. It starts from the state passed in (so foreign backends'
+	// fields survive a backend switch) with this backend's field updated.
+	Warm *WarmState
 }
 
 // Config carries the tuning for every registered backend; each factory
@@ -203,6 +225,18 @@ func init() {
 	Register("localsearch", func(cfg Config) Backend { return &localSearchBackend{cfg: cfg.LocalSearch} })
 }
 
+// nextWarm derives the warm state a solve hands to the next round: a copy of
+// the incoming state (so a backend switch preserves the other backends'
+// fields) with this backend's field set.
+func nextWarm(prev *WarmState, set func(*WarmState)) *WarmState {
+	w := &WarmState{}
+	if prev != nil {
+		*w = *prev
+	}
+	set(w)
+	return w
+}
+
 // mipBackend adapts the two-phase MIP solver (internal/solver) to the
 // Backend interface.
 type mipBackend struct {
@@ -220,8 +254,12 @@ func (b *mipBackend) Solve(ctx context.Context, in solver.Input, opts Options) (
 		cfg.Phase2TimeLimit = opts.TimeLimit / 3
 	}
 	cfg.Workers = opts.workers()
+	var warm *solver.WarmState
+	if opts.Warm != nil {
+		warm = opts.Warm.MIP
+	}
 	start := clock.Now()
-	res, err := solver.Solve(ctx, in, cfg)
+	res, err := solver.SolveWarm(ctx, in, cfg, warm)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +272,7 @@ func (b *mipBackend) Solve(ctx context.Context, in solver.Input, opts Options) (
 		Gap:       res.Phase1.Objective - res.Phase1.Bound,
 		Elapsed:   clock.Since(start),
 		MIP:       res,
+		Warm:      nextWarm(opts.Warm, func(w *WarmState) { w.MIP = res.Warm }),
 	}
 	switch {
 	case res.Cancelled || res.Phase1.Status == mip.Cancelled:
@@ -264,7 +303,11 @@ func (b *localSearchBackend) Solve(ctx context.Context, in solver.Input, opts Op
 		cfg.TimeLimit = opts.TimeLimit
 	}
 	cfg.Starts = opts.workers()
-	res, err := localsearch.Solve(ctx, in, cfg)
+	var warm *localsearch.WarmState
+	if opts.Warm != nil {
+		warm = opts.Warm.LocalSearch
+	}
+	res, err := localsearch.SolveWarm(ctx, in, cfg, warm)
 	if err != nil {
 		return nil, err
 	}
@@ -278,6 +321,9 @@ func (b *localSearchBackend) Solve(ctx context.Context, in solver.Input, opts Op
 		Gap:         math.Inf(1),
 		Elapsed:     res.Elapsed,
 		LocalSearch: res,
+		Warm: nextWarm(opts.Warm, func(w *WarmState) {
+			w.LocalSearch = &localsearch.WarmState{Targets: res.Targets}
+		}),
 	}
 	if res.Cancelled {
 		out.Status = StatusCancelled

@@ -94,6 +94,17 @@ func (c Config) withDefaults(region *topology.Region) Config {
 	return c
 }
 
+// WarmState is the cross-round reuse seam of the local-search backend: the
+// previous round's final assignment. SolveWarm seeds every climb's starting
+// point from it instead of the broker's current bindings, so consecutive
+// rounds of the continuous-optimization loop resume where the last one left
+// off. State that no longer fits — a different server count, an assignment
+// to a reservation that disappeared, a server that became ineligible — is
+// ignored binding by binding, falling back to the broker's view.
+type WarmState struct {
+	Targets []reservation.ID
+}
+
 // Result is the outcome of a search.
 type Result struct {
 	// Targets maps every server to its assigned reservation.
@@ -145,6 +156,14 @@ type state struct {
 // one candidate-sampling round and returns the best assignment found, with
 // Result.Cancelled set. A cancelled search is not an error.
 func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
+	return SolveWarm(ctx, in, cfg, nil)
+}
+
+// SolveWarm is Solve with a cross-round warm start: every climb begins from
+// the previous round's assignment (see WarmState) instead of the broker's
+// current bindings. nil warm — or warm state for a different server count —
+// reproduces Solve exactly.
+func SolveWarm(ctx context.Context, in solver.Input, cfg Config, warm *WarmState) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background() //raslint:allow ctxflow nil ctx defaults to Background at the public API boundary
 	}
@@ -154,11 +173,14 @@ func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
 	if len(in.States) != len(in.Region.Servers) {
 		return nil, fmt.Errorf("localsearch: %d states for %d servers", len(in.States), len(in.Region.Servers))
 	}
+	if warm != nil && len(warm.Targets) != len(in.Region.Servers) {
+		warm = nil // shape drift: fall back to a cold start
+	}
 	cfg = cfg.withDefaults(in.Region)
 	start := clock.Now()
 
 	if cfg.Starts <= 1 {
-		res := climb(ctx, in, cfg, cfg.Seed)
+		res := climb(ctx, in, cfg, cfg.Seed, warm)
 		res.Starts = 1
 		res.Elapsed = clock.Since(start)
 		return res, nil
@@ -174,7 +196,7 @@ func Solve(ctx context.Context, in solver.Input, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = climb(ctx, in, cfg, startSeed(cfg.Seed, i))
+			results[i] = climb(ctx, in, cfg, startSeed(cfg.Seed, i), warm)
 		}(i)
 	}
 	wg.Wait()
@@ -203,9 +225,10 @@ func startSeed(base int64, i int) int64 {
 // climb runs one full hill-climbing search (seeding, steepest-of-sample
 // loop, result assembly) with the given RNG seed. Each climb owns all of
 // its state, so any number may run concurrently on one input.
-func climb(ctx context.Context, in solver.Input, cfg Config, seed int64) *Result {
+func climb(ctx context.Context, in solver.Input, cfg Config, seed int64, warm *WarmState) *Result {
 	start := clock.Now()
 	s := newState(in, cfg)
+	s.seedWarm(warm)
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{}
 
@@ -346,6 +369,30 @@ func newState(in solver.Input, cfg Config) *state {
 		}
 	}
 	return s
+}
+
+// seedWarm rebinds servers to the previous round's assignment (shape already
+// validated by SolveWarm). Each binding is applied only where it is still
+// legal — server usable, reservation still present, server still eligible —
+// so arbitrary drift between rounds degrades gracefully toward the broker
+// seeding of newState instead of poisoning the start point.
+func (s *state) seedWarm(warm *WarmState) {
+	if warm == nil {
+		return
+	}
+	for i, want := range warm.Targets {
+		sid := topology.ServerID(i)
+		if !s.usable[i] || want == s.assign[sid] {
+			continue
+		}
+		if want == reservation.Unassigned {
+			s.apply(sid, want)
+			continue
+		}
+		if ri, ok := s.resIdx[want]; ok && s.value[ri][sid] > 0 {
+			s.apply(sid, want)
+		}
+	}
 }
 
 // waterfillSeed acquires free servers for every reservation whose

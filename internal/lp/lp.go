@@ -15,6 +15,15 @@
 // and robust at the problem sizes RAS produces after symmetry reduction
 // (hundreds to a few thousand rows).
 //
+// All solver state — sparse columns, the slack/artificial layout, the dense
+// basis inverse, and every pricing and ratio-test scratch vector — lives in
+// a reusable Workspace so that repeated solves of the same Problem shape
+// (the branch-and-bound node-LP loop, the round-after-round re-solves of the
+// RAS async solver) run allocation-free in steady state. Problem.Solve keeps
+// its historical signature by caching a workspace inside the Problem;
+// callers that own the solve loop use SolveWith with an explicit workspace
+// and Options.ReuseBasis to also skip basis export/import copies.
+//
 // lp is the substrate for package mip, which layers branch-and-bound on top
 // to solve the mixed-integer programs formulated by the RAS async solver.
 package lp
@@ -24,6 +33,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
+
+	"ras/internal/metrics"
 )
 
 // Sense describes the relation of a constraint row to its right-hand side.
@@ -68,6 +80,12 @@ type Problem struct {
 	rows   [][]Nonzero // sparse constraint rows
 	senses []Sense
 	rhs    []float64
+
+	// ws caches the workspace used by Solve so repeated Solve calls on the
+	// same problem reuse structure and scratch. Taken with an atomic swap so
+	// concurrent Solve calls on one Problem each get a private workspace
+	// (the loser of the race simply builds a fresh one).
+	ws atomic.Pointer[Workspace]
 }
 
 // NumVars reports the number of variables added so far.
@@ -203,9 +221,14 @@ type Solution struct {
 	X          []float64 // one value per problem variable
 	Iterations int       // total simplex iterations across both phases
 	DualIters  int       // dual-simplex repair iterations (warm starts)
+	// WarmStarted reports whether the solution was produced by a warm path
+	// (basis import or workspace basis reuse) rather than a cold two-phase
+	// solve.
+	WarmStarted bool
 	// Basis is an opaque snapshot of the optimal basis, usable as
 	// Options.Start on a later solve of the SAME problem (same rows and
-	// variables; bounds may differ). Nil when no exportable basis exists.
+	// variables; bounds may differ). Populated only when Options.ExportBasis
+	// is set (Problem.Solve sets it) and an exportable basis exists.
 	Basis *Basis
 }
 
@@ -232,8 +255,39 @@ type Options struct {
 	// branch-and-bound case) primal feasibility is restored with dual
 	// simplex iterations, which is typically orders of magnitude cheaper
 	// than solving from scratch. Invalid or unusable bases fall back to a
-	// cold start silently.
+	// cold start silently. When the workspace already holds a reusable
+	// basis and ReuseBasis is set, the retained state wins and Start is
+	// ignored.
 	Start *Basis
+	// ReuseBasis warm-starts from the good basis retained inside the
+	// workspace — the most recent optimal, artificial-free basis of a solve
+	// of the same problem shape — with no export/import allocations at all:
+	// the branch-and-bound node-LP fast path. Falls back to Start (if any)
+	// and then to a cold start when the workspace holds no usable state.
+	ReuseBasis bool
+	// ExportBasis requests a Basis snapshot on the returned Solution (an
+	// O(m²) copy of the basis inverse). Problem.Solve sets it for
+	// compatibility; workspace-reusing callers leave it off except when
+	// they actually persist the basis (root LPs, cross-round warm starts).
+	ExportBasis bool
+	// DevexAfter sets how many iterations a single primal pass runs under
+	// Dantzig pricing before escalating to Devex with partial pricing.
+	// Zero means a default tuned so the short warm re-solves that dominate
+	// branch-and-bound never escalate; negative engages Devex from the
+	// first iteration (testing and very large cold solves).
+	DevexAfter int
+}
+
+// devexAfter resolves the staged-pricing escalation point.
+func (o *Options) devexAfter() int {
+	switch {
+	case o.DevexAfter < 0:
+		return 0
+	case o.DevexAfter == 0:
+		return defaultDevexAfter
+	default:
+		return o.DevexAfter
+	}
 }
 
 // ErrMalformed reports a structurally invalid problem.
@@ -246,809 +300,39 @@ var ErrMalformed = errors.New("lp: malformed problem")
 // Cancelling ctx aborts the simplex iteration loops promptly; the returned
 // Solution then has Status Cancelled and carries whatever (possibly
 // infeasible) point the solver held when it stopped.
+//
+// Solve reuses an internal workspace across calls on the same Problem, so
+// repeated solves allocate little beyond the returned Solution. For explicit
+// workspace control (branch-and-bound, cross-round re-solves) use SolveWith.
 func (p *Problem) Solve(ctx context.Context, opt Options) Solution {
+	opt.ExportBasis = true // historical contract: Solve exports on Optimal
+	ws := p.ws.Swap(nil)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	sol := p.SolveWith(ctx, opt, ws)
+	p.ws.Store(ws)
+	return sol
+}
+
+// SolveWith is Solve with an explicit workspace. The workspace retains the
+// problem's simplex structure and all scratch buffers between calls, so a
+// steady-state re-solve performs no allocation beyond the Solution's X
+// vector. A workspace must not be used by more than one goroutine at a time,
+// and is retargeted automatically when given a different problem or shape.
+func (p *Problem) SolveWith(ctx context.Context, opt Options, ws *Workspace) Solution {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	if exactZero(opt.Tol) {
 		opt.Tol = 1e-9
 	}
 	if ctx == nil {
 		ctx = context.Background() //raslint:allow ctxflow nil ctx defaults to Background at the public API boundary
 	}
-	if opt.Start != nil {
-		s := newSimplex(ctx, p, opt)
-		if sol, ok := s.runWarm(opt.Start); ok {
-			return sol
-		}
-		// Unusable basis: cold-start, keeping the wasted iteration count.
-		warmIters := s.iters
-		s = newSimplex(ctx, p, opt)
-		sol := s.run()
-		sol.Iterations += warmIters
-		return sol
-	}
-	s := newSimplex(ctx, p, opt)
-	return s.run()
-}
-
-// simplex is the working state of a revised-simplex solve. Variables are
-// indexed 0..n-1 structural, n..n+m-1 slack/artificial.
-type simplex struct {
-	ctx    context.Context
-	opt    Options
-	diters int
-
-	m int // rows
-	n int // total columns (structural + slacks + artificials)
-
-	nStruct int // structural variable count
-
-	cols [][]Nonzero // sparse columns, length n
-	cost []float64   // phase-2 costs
-	lo   []float64
-	up   []float64
-	b    []float64 // row RHS (equalities)
-
-	artStart int   // first artificial column index
-	slackOf  []int // row → slack column, or -1 for equality rows
-
-	// Basis state.
-	basis  []int     // basis[i] = column basic in row i
-	inRow  []int     // inRow[j] = row where j is basic, or -1
-	atUp   []bool    // nonbasic at upper bound (else at lower)
-	x      []float64 // current value of every column
-	binv   []float64 // dense m×m basis inverse, row-major
-	pivots int       // pivots since last reinversion
-
-	iters int
-}
-
-func newSimplex(ctx context.Context, p *Problem, opt Options) *simplex {
-	m := len(p.rows)
-	nStruct := len(p.cost)
-
-	s := &simplex{ctx: ctx, opt: opt, m: m, nStruct: nStruct}
-
-	// Structural columns.
-	cols := make([][]Nonzero, nStruct, nStruct+2*m)
-	for i, row := range p.rows {
-		for _, nz := range row {
-			cols[nz.Index] = append(cols[nz.Index], Nonzero{Index: i, Value: nz.Value})
-		}
-	}
-	cost := append([]float64(nil), p.cost...)
-	lo := append([]float64(nil), p.lo...)
-	up := append([]float64(nil), p.up...)
-	b := append([]float64(nil), p.rhs...)
-
-	// Slack columns: one per inequality row.
-	s.slackOf = make([]int, m)
-	for i := range s.slackOf {
-		s.slackOf[i] = -1
-	}
-	for i, sense := range p.senses {
-		switch sense {
-		case LE:
-			s.slackOf[i] = len(cols)
-			cols = append(cols, []Nonzero{{Index: i, Value: 1}})
-			cost = append(cost, 0)
-			lo = append(lo, 0)
-			up = append(up, Inf)
-		case GE:
-			s.slackOf[i] = len(cols)
-			cols = append(cols, []Nonzero{{Index: i, Value: -1}})
-			cost = append(cost, 0)
-			lo = append(lo, 0)
-			up = append(up, Inf)
-		case EQ:
-			// no slack
-		}
-	}
-
-	s.artStart = len(cols)
-
-	// Artificial columns: one per row, sign chosen after initial point is set.
-	for i := 0; i < m; i++ {
-		cols = append(cols, []Nonzero{{Index: i, Value: 1}}) // sign fixed later
-		cost = append(cost, 0)
-		lo = append(lo, 0)
-		up = append(up, Inf)
-	}
-
-	s.cols = cols
-	s.cost = cost
-	s.lo = lo
-	s.up = up
-	s.b = b
-	s.n = len(cols)
-
-	if opt.MaxIter == 0 {
-		s.opt.MaxIter = 2000 + 40*(m+s.n)
-	}
-	return s
-}
-
-// run performs the two-phase solve.
-func (s *simplex) run() Solution {
-	m, n := s.m, s.n
-
-	// Initial point: every non-artificial variable at a finite bound
-	// (prefer the lower bound, which is always finite).
-	s.x = make([]float64, n)
-	s.atUp = make([]bool, n)
-	for j := 0; j < s.artStart; j++ {
-		s.x[j] = s.lo[j]
-	}
-
-	// Residual r = b - A·x determines artificial signs and values.
-	resid := append([]float64(nil), s.b...)
-	for j := 0; j < s.artStart; j++ {
-		if exactZero(s.x[j]) {
-			continue
-		}
-		for _, nz := range s.cols[j] {
-			resid[nz.Index] -= nz.Value * s.x[j]
-		}
-	}
-	// Initial basis: a row's own slack when the slack value would be
-	// feasible (a "crash" basis that usually covers most rows), otherwise
-	// the row's artificial. Artificials stay fixed at zero for rows that
-	// do not need one.
-	s.basis = make([]int, m)
-	s.inRow = make([]int, n)
-	for j := range s.inRow {
-		s.inRow[j] = -1
-	}
-	needPhase1 := false
-	for i := 0; i < m; i++ {
-		a := s.artStart + i
-		if resid[i] < 0 {
-			s.cols[a][0].Value = -1
-		} else {
-			s.cols[a][0].Value = 1
-		}
-		sl := s.slackOf[i]
-		slackVal := 0.0
-		useSlack := false
-		if sl >= 0 {
-			// slack coefficient is +1 for LE, -1 for GE.
-			slackVal = resid[i] * s.cols[sl][0].Value
-			useSlack = slackVal >= 0
-		}
-		if useSlack {
-			s.basis[i] = sl
-			s.inRow[sl] = i
-			s.x[sl] = slackVal
-			s.up[a] = 0 // artificial unused; pin it
-		} else {
-			s.basis[i] = a
-			s.inRow[a] = i
-			s.x[a] = math.Abs(resid[i])
-			if s.x[a] > s.opt.Tol {
-				needPhase1 = true
-			}
-		}
-	}
-	s.reinvert()
-
-	// Phase 1: minimize the sum of active artificials.
-	if needPhase1 {
-		phase1 := make([]float64, n)
-		for i := 0; i < m; i++ {
-			phase1[s.artStart+i] = 1
-		}
-		st := s.optimize(phase1, s.artStart)
-		if st == IterLimit || st == Cancelled {
-			return Solution{Status: st, X: s.structX(), Iterations: s.iters}
-		}
-		infeas := 0.0
-		for i := 0; i < m; i++ {
-			infeas += s.x[s.artStart+i]
-		}
-		if infeas > s.feasTol() {
-			return Solution{Status: Infeasible, X: s.structX(), Iterations: s.iters}
-		}
-	}
-
-	// Pin artificials to zero for phase 2. Basic artificials (degenerate at
-	// zero) are allowed to remain basic; the bound pin keeps them at zero.
-	for i := 0; i < m; i++ {
-		a := s.artStart + i
-		s.up[a] = 0
-		if !exactZero(s.x[a]) {
-			s.x[a] = 0 // clean up residual fuzz below tolerance
-		}
-	}
-
-	// Phase 2: minimize the true objective.
-	st := s.optimize(s.cost, s.n)
-	return s.finish(st)
-}
-
-// finish assembles a Solution from the current state.
-func (s *simplex) finish(st Status) Solution {
-	obj := 0.0
-	for j := 0; j < s.nStruct; j++ {
-		obj += s.cost[j] * s.x[j]
-	}
-	sol := Solution{Status: st, Objective: obj, X: s.structX(), Iterations: s.iters, DualIters: s.diters}
-	if st == Optimal {
-		sol.Basis = s.exportBasis()
-	}
+	sol := ws.solve(ctx, p, opt)
+	metrics.LP.Solves.Add(1)
+	metrics.LP.Iterations.Add(int64(sol.Iterations))
+	metrics.LP.DualIterations.Add(int64(sol.DualIters))
 	return sol
-}
-
-// exportBasis snapshots the basis if it contains no artificial columns
-// (artificial signs are cold-start-dependent, so such bases do not transfer).
-func (s *simplex) exportBasis() *Basis {
-	for _, c := range s.basis {
-		if c >= s.artStart {
-			return nil
-		}
-	}
-	return &Basis{
-		cols:   append([]int(nil), s.basis...),
-		atUp:   append([]bool(nil), s.atUp...),
-		binv:   append([]float64(nil), s.binv...),
-		pivots: s.pivots,
-	}
-}
-
-// runWarm attempts a warm-started solve from a previously exported basis.
-// It reports ok=false when the basis is structurally unusable or numerical
-// checks fail, in which case the caller should cold-start.
-func (s *simplex) runWarm(start *Basis) (Solution, bool) {
-	m, n := s.m, s.n
-	if len(start.cols) != m || len(start.atUp) != n {
-		return Solution{}, false
-	}
-	seen := make([]bool, n)
-	for _, c := range start.cols {
-		if c < 0 || c >= s.artStart || seen[c] {
-			return Solution{}, false
-		}
-		seen[c] = true
-	}
-
-	// Install statuses: nonbasic at a bound, artificials pinned at zero.
-	s.x = make([]float64, n)
-	s.atUp = make([]bool, n)
-	s.basis = append([]int(nil), start.cols...)
-	s.inRow = make([]int, n)
-	for j := range s.inRow {
-		s.inRow[j] = -1
-	}
-	for i, c := range s.basis {
-		s.inRow[c] = i
-	}
-	for i := 0; i < m; i++ {
-		s.up[s.artStart+i] = 0
-	}
-	for j := 0; j < n; j++ {
-		if s.inRow[j] >= 0 {
-			continue
-		}
-		if start.atUp[j] && !math.IsInf(s.up[j], 1) {
-			s.x[j] = s.up[j]
-			s.atUp[j] = true
-		} else {
-			s.x[j] = s.lo[j]
-		}
-	}
-	if len(start.binv) == m*m && start.pivots < 300 {
-		// Reuse the cached inverse (bounds do not enter B) and only
-		// recompute the basic values — then verify the result actually
-		// satisfies A·x = b. Long export/import chains accumulate drift;
-		// a violated residual means the cached inverse is stale.
-		s.binv = append(s.binv[:0], start.binv...)
-		s.pivots = start.pivots
-		s.recomputeBasics()
-		if !s.residualOK() {
-			s.reinvert()
-		}
-	} else {
-		s.reinvert()
-	}
-
-	// The start basis came from an optimal solve with the same costs, so it
-	// should be dual feasible; verify cheaply so dual-simplex infeasibility
-	// verdicts can be trusted.
-	if !s.dualFeasible(s.cost) {
-		return Solution{}, false
-	}
-
-	switch st := s.dualSimplex(s.cost); st {
-	case Infeasible:
-		// A dual-simplex infeasibility proof is only as sound as the dual
-		// feasibility of every intermediate basis, which accumulated
-		// floating-point drift can silently break. Never report
-		// infeasibility from the warm path; make the caller verify cold.
-		return Solution{}, false
-	case IterLimit:
-		return Solution{}, false
-	case Cancelled:
-		// Do NOT fall back to a cold start: the point of cancellation is to
-		// stop working, so report it from the warm path directly.
-		return s.finish(Cancelled), true
-	}
-	// Primal feasible now; polish with primal iterations (usually zero).
-	st := s.optimize(s.cost, s.n)
-	if st == Unbounded {
-		// A warm start cannot soundly prove unboundedness after bound
-		// changes narrowed and re-widened variables; re-verify cold.
-		return Solution{}, false
-	}
-	if st == Optimal && !s.residualOK() {
-		return Solution{}, false // numerical drift; the caller re-solves cold
-	}
-	return s.finish(st), true
-}
-
-// residualOK verifies A·x = b within tolerance across every row — a cheap
-// O(nnz) guard against stale basis inverses on the warm path.
-func (s *simplex) residualOK() bool {
-	resid := append([]float64(nil), s.b...)
-	for j := 0; j < s.n; j++ {
-		if exactZero(s.x[j]) {
-			continue
-		}
-		for _, nz := range s.cols[j] {
-			resid[nz.Index] -= nz.Value * s.x[j]
-		}
-	}
-	for i, r := range resid {
-		if math.Abs(r) > 1e-6*(1+math.Abs(s.b[i])) {
-			return false
-		}
-	}
-	return true
-}
-
-// dualFeasible checks the sign conditions of all nonbasic reduced costs.
-func (s *simplex) dualFeasible(cost []float64) bool {
-	m := s.m
-	y := make([]float64, m)
-	for i := 0; i < m; i++ {
-		cb := cost[s.basis[i]]
-		if exactZero(cb) {
-			continue
-		}
-		row := s.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			y[k] += cb * row[k]
-		}
-	}
-	tol := math.Max(s.opt.Tol*1e3, 1e-6)
-	for j := 0; j < s.n; j++ {
-		if s.inRow[j] >= 0 || exactEqual(s.lo[j], s.up[j]) {
-			continue
-		}
-		d := cost[j]
-		for _, nz := range s.cols[j] {
-			d -= y[nz.Index] * nz.Value
-		}
-		if s.atUp[j] {
-			if d > tol {
-				return false
-			}
-		} else if d < -tol {
-			return false
-		}
-	}
-	return true
-}
-
-// dualSimplex restores primal feasibility from a dual-feasible basis after
-// bound changes, the branch-and-bound warm-start workhorse. It returns
-// Optimal when the basis is primal feasible, Infeasible when no pivot can
-// repair a violated basic variable, or IterLimit.
-func (s *simplex) dualSimplex(cost []float64) Status {
-	m := s.m
-	y := make([]float64, m)
-	w := make([]float64, m)
-	ptol := s.opt.Tol * 1e3 // primal bound tolerance
-
-	for {
-		if s.iters >= s.opt.MaxIter {
-			return IterLimit
-		}
-		if s.cancelled() {
-			return Cancelled
-		}
-
-		// Leaving row: largest bound violation among basic variables.
-		leave := -1
-		worst := ptol
-		var target float64 // bound the leaving variable snaps to
-		for i := 0; i < m; i++ {
-			bi := s.basis[i]
-			if v := s.lo[bi] - s.x[bi]; v > worst {
-				worst, leave, target = v, i, s.lo[bi]
-			}
-			if v := s.x[bi] - s.up[bi]; v > worst {
-				worst, leave, target = v, i, s.up[bi]
-			}
-		}
-		if leave == -1 {
-			return Optimal
-		}
-		s.iters++
-		s.diters++
-
-		// y = c_B^T B^-1 for reduced costs.
-		for i := 0; i < m; i++ {
-			y[i] = 0
-		}
-		for i := 0; i < m; i++ {
-			cb := cost[s.basis[i]]
-			if exactZero(cb) {
-				continue
-			}
-			row := s.binv[i*m : (i+1)*m]
-			for k := 0; k < m; k++ {
-				y[k] += cb * row[k]
-			}
-		}
-		binvRow := s.binv[leave*m : (leave+1)*m]
-		below := s.x[s.basis[leave]] < target // violated below: value must rise
-
-		// Entering column: dual ratio test.
-		enter := -1
-		bestRatio := math.Inf(1)
-		var alphaQ float64
-		for j := 0; j < s.n; j++ {
-			if s.inRow[j] >= 0 || exactEqual(s.lo[j], s.up[j]) {
-				continue
-			}
-			alpha := 0.0
-			for _, nz := range s.cols[j] {
-				alpha += binvRow[nz.Index] * nz.Value
-			}
-			if math.Abs(alpha) < 1e-9 {
-				continue
-			}
-			// Admissible directions: see package docs. The leaving value
-			// changes by -Δq·alpha; Δq ≥ 0 for atLower, ≤ 0 for atUpper.
-			ok := false
-			if !s.atUp[j] { // can increase: Δq ≥ 0 → change = -alpha·Δq
-				ok = (below && alpha < 0) || (!below && alpha > 0)
-			} else { // can decrease: Δq ≤ 0 → change = +alpha·|Δq|
-				ok = (below && alpha > 0) || (!below && alpha < 0)
-			}
-			if !ok {
-				continue
-			}
-			d := cost[j]
-			for _, nz := range s.cols[j] {
-				d -= y[nz.Index] * nz.Value
-			}
-			ratio := math.Abs(d) / math.Abs(alpha)
-			if ratio < bestRatio {
-				bestRatio, enter, alphaQ = ratio, j, alpha
-			}
-		}
-		if enter == -1 {
-			return Infeasible // no pivot can repair the violation
-		}
-
-		// Pivot: move entering by Δq so the leaving variable hits target.
-		for i := 0; i < m; i++ {
-			w[i] = 0
-		}
-		for _, nz := range s.cols[enter] {
-			col := nz.Index
-			v := nz.Value
-			for i := 0; i < m; i++ {
-				w[i] += s.binv[i*m+col] * v
-			}
-		}
-		dq := (s.x[s.basis[leave]] - target) / alphaQ
-		for i := 0; i < m; i++ {
-			s.x[s.basis[i]] -= dq * w[i]
-		}
-		newVal := s.x[enter] + dq
-
-		out := s.basis[leave]
-		s.inRow[out] = -1
-		s.atUp[out] = exactEqual(target, s.up[out]) && !exactEqual(s.lo[out], s.up[out])
-		s.x[out] = target
-		s.basis[leave] = enter
-		s.inRow[enter] = leave
-		s.x[enter] = newVal
-		s.updateInverse(leave, w)
-		s.pivots++
-		if s.pivots >= 300 {
-			s.reinvert()
-		}
-	}
-}
-
-func (s *simplex) feasTol() float64 { return s.opt.Tol * float64(1+s.m) * 100 }
-
-// cancelled polls the solve context every few iterations. The check runs
-// once per simplex pivot, whose own cost (an O(m·n) pricing pass) dwarfs the
-// atomic load inside ctx.Err, so polling every iteration keeps cancellation
-// latency at a single pivot without measurable overhead.
-func (s *simplex) cancelled() bool { return s.ctx.Err() != nil }
-
-func (s *simplex) structX() []float64 {
-	out := make([]float64, s.nStruct)
-	copy(out, s.x[:s.nStruct])
-	return out
-}
-
-// optimize runs primal simplex iterations minimizing cost over the first
-// priceLimit columns (columns at or beyond priceLimit never enter). It
-// returns Optimal, Unbounded, or IterLimit.
-func (s *simplex) optimize(cost []float64, priceLimit int) Status {
-	m := s.m
-	y := make([]float64, m)
-	w := make([]float64, m)
-
-	// Bland's rule engages after a burst of degenerate pivots to guarantee
-	// termination; Dantzig-style pricing is used otherwise for speed.
-	degenerate := 0
-	const blandAfter = 400
-
-	for {
-		if s.iters >= s.opt.MaxIter {
-			return IterLimit
-		}
-		if s.cancelled() {
-			return Cancelled
-		}
-		s.iters++
-
-		// y = c_B^T · B^-1
-		for i := 0; i < m; i++ {
-			y[i] = 0
-		}
-		for i := 0; i < m; i++ {
-			cb := cost[s.basis[i]]
-			if exactZero(cb) {
-				continue
-			}
-			row := s.binv[i*m : (i+1)*m]
-			for k := 0; k < m; k++ {
-				y[k] += cb * row[k]
-			}
-		}
-
-		// Price nonbasic columns.
-		useBland := degenerate >= blandAfter
-		enter := -1
-		var enterDelta float64 // reduced cost of the entering column
-		best := s.opt.Tol
-		for j := 0; j < priceLimit; j++ {
-			if s.inRow[j] >= 0 {
-				continue
-			}
-			if exactEqual(s.lo[j], s.up[j]) {
-				continue // fixed variable can never improve
-			}
-			d := cost[j]
-			for _, nz := range s.cols[j] {
-				d -= y[nz.Index] * nz.Value
-			}
-			var viol float64
-			if s.atUp[j] {
-				viol = d // want d > 0 to decrease from upper bound
-			} else {
-				viol = -d // want d < 0 to increase from lower bound
-			}
-			if viol > best {
-				enter = j
-				enterDelta = d
-				if useBland {
-					break
-				}
-				best = viol
-			}
-		}
-		if enter == -1 {
-			return Optimal
-		}
-
-		// Direction of change for the entering variable.
-		sigma := 1.0 // increasing from lower bound
-		if s.atUp[enter] {
-			sigma = -1.0
-		}
-
-		// w = B^-1 · a_enter
-		for i := 0; i < m; i++ {
-			w[i] = 0
-		}
-		for _, nz := range s.cols[enter] {
-			col := nz.Index
-			v := nz.Value
-			for i := 0; i < m; i++ {
-				w[i] += s.binv[i*m+col] * v
-			}
-		}
-
-		// Ratio test: basic variable i changes by -sigma·t·w[i].
-		tMax := s.up[enter] - s.lo[enter] // bound-flip distance (may be +Inf)
-		leave := -1
-		leaveToUpper := false
-		piv := s.opt.Tol * 10
-		for i := 0; i < m; i++ {
-			step := -sigma * w[i]
-			if step > piv { // basic value increases toward its upper bound
-				bi := s.basis[i]
-				if math.IsInf(s.up[bi], 1) {
-					continue
-				}
-				t := (s.up[bi] - s.x[bi]) / step
-				if t < tMax-s.opt.Tol || (t < tMax+s.opt.Tol && leave == -1) {
-					tMax, leave, leaveToUpper = t, i, true
-				}
-			} else if step < -piv { // basic value decreases toward its lower bound
-				bi := s.basis[i]
-				t := (s.x[bi] - s.lo[bi]) / -step
-				if t < tMax-s.opt.Tol || (t < tMax+s.opt.Tol && leave == -1) {
-					tMax, leave, leaveToUpper = t, i, false
-				}
-			}
-		}
-
-		if math.IsInf(tMax, 1) {
-			return Unbounded
-		}
-		if tMax < 0 {
-			tMax = 0
-		}
-		if tMax <= s.opt.Tol {
-			degenerate++
-		} else {
-			degenerate = 0
-		}
-		_ = enterDelta
-
-		// Apply the step.
-		for i := 0; i < m; i++ {
-			bi := s.basis[i]
-			s.x[bi] -= sigma * tMax * w[i]
-		}
-		s.x[enter] += sigma * tMax
-
-		if leave == -1 {
-			// Bound flip: entering variable moved to its other bound.
-			s.atUp[enter] = !s.atUp[enter]
-			continue
-		}
-
-		// Pivot: replace basis[leave] with enter.
-		out := s.basis[leave]
-		s.inRow[out] = -1
-		s.atUp[out] = leaveToUpper
-		// Snap the leaving variable exactly onto its bound.
-		if leaveToUpper {
-			s.x[out] = s.up[out]
-		} else {
-			s.x[out] = s.lo[out]
-		}
-		s.basis[leave] = enter
-		s.inRow[enter] = leave
-		s.updateInverse(leave, w)
-		s.pivots++
-		if s.pivots >= 300 {
-			s.reinvert()
-		}
-	}
-}
-
-// updateInverse applies a Gauss-Jordan elimination step so that binv remains
-// the inverse of the basis matrix after column r of the basis was replaced by
-// a column whose B^-1-transformed image is w.
-func (s *simplex) updateInverse(r int, w []float64) {
-	m := s.m
-	pivot := w[r]
-	if math.Abs(pivot) < 1e-12 {
-		// Numerically hopeless pivot; rebuild from scratch.
-		s.reinvert()
-		return
-	}
-	inv := 1.0 / pivot
-	rowR := s.binv[r*m : (r+1)*m]
-	for k := 0; k < m; k++ {
-		rowR[k] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == r {
-			continue
-		}
-		f := w[i]
-		if exactZero(f) {
-			continue
-		}
-		row := s.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			row[k] -= f * rowR[k]
-		}
-	}
-}
-
-// reinvert recomputes the dense basis inverse from scratch by Gauss-Jordan
-// elimination with partial pivoting, then recomputes basic variable values
-// from the nonbasic point. It bounds accumulated floating-point drift.
-func (s *simplex) reinvert() {
-	m := s.m
-	// Build dense basis matrix.
-	bm := make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		for _, nz := range s.cols[s.basis[i]] {
-			bm[nz.Index*m+i] = nz.Value
-		}
-	}
-	inv := make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		inv[i*m+i] = 1
-	}
-	// Gauss-Jordan with partial pivoting on bm, mirroring into inv.
-	for col := 0; col < m; col++ {
-		p := col
-		maxAbs := math.Abs(bm[col*m+col])
-		for r := col + 1; r < m; r++ {
-			if a := math.Abs(bm[r*m+col]); a > maxAbs {
-				maxAbs, p = a, r
-			}
-		}
-		if maxAbs < 1e-12 {
-			continue // singular direction; leave as-is (degenerate basis)
-		}
-		if p != col {
-			swapRows(bm, m, p, col)
-			swapRows(inv, m, p, col)
-		}
-		d := 1.0 / bm[col*m+col]
-		for k := 0; k < m; k++ {
-			bm[col*m+k] *= d
-			inv[col*m+k] *= d
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := bm[r*m+col]
-			if exactZero(f) {
-				continue
-			}
-			for k := 0; k < m; k++ {
-				bm[r*m+k] -= f * bm[col*m+k]
-				inv[r*m+k] -= f * inv[col*m+k]
-			}
-		}
-	}
-	s.binv = inv
-	s.pivots = 0
-	s.recomputeBasics()
-}
-
-// recomputeBasics sets x_B = B^-1 (b - N x_N) from the nonbasic point.
-func (s *simplex) recomputeBasics() {
-	m := s.m
-	resid := append([]float64(nil), s.b...)
-	for j := 0; j < s.n; j++ {
-		if s.inRow[j] >= 0 || exactZero(s.x[j]) {
-			continue
-		}
-		for _, nz := range s.cols[j] {
-			resid[nz.Index] -= nz.Value * s.x[j]
-		}
-	}
-	for i := 0; i < m; i++ {
-		v := 0.0
-		row := s.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			v += row[k] * resid[k]
-		}
-		s.x[s.basis[i]] = v
-	}
-}
-
-func swapRows(a []float64, m, i, j int) {
-	ri := a[i*m : (i+1)*m]
-	rj := a[j*m : (j+1)*m]
-	for k := 0; k < m; k++ {
-		ri[k], rj[k] = rj[k], ri[k]
-	}
 }

@@ -1,0 +1,550 @@
+package lp
+
+import (
+	"math"
+
+	"ras/internal/metrics"
+)
+
+// reinvertEvery bounds the number of Gauss-Jordan rank-one updates applied
+// to the dense basis inverse before it is recomputed from scratch, limiting
+// accumulated floating-point drift.
+const reinvertEvery = 300
+
+// priceBlock is the partial-pricing block width used by the Devex stage:
+// candidate entering columns are priced one block at a time, rotating
+// deterministically through the blocks, and the scan stops at the first
+// block containing an eligible candidate. Problems narrower than one block
+// degrade to full pricing.
+const priceBlock = 256
+
+// defaultDevexAfter is the default Dantzig→Devex escalation point; see
+// Options.DevexAfter. The threshold is sized so that the solves behind the
+// repo's deterministic regression suites (the longest measured optimize call
+// across the experiment reproductions runs just under 1000 iterations) stay
+// on pure Dantzig and keep their historical pivot sequences bit-for-bit,
+// while genuinely long degenerate solves — whose iteration budget scales
+// with problem size — still escalate to Devex well before hitting MaxIter.
+const defaultDevexAfter = 1500
+
+// blandAfter is the number of consecutive degenerate pivots tolerated before
+// pricing falls back to Bland's rule (first eligible column in index order),
+// which guarantees termination at the cost of speed.
+const blandAfter = 400
+
+// optimize runs primal simplex iterations minimizing cost over the first
+// priceLimit columns (columns at or beyond priceLimit never enter). It
+// returns Optimal, Unbounded, or IterLimit.
+//
+// Pricing escalates through three deterministic stages as a single call runs
+// long:
+//
+//  1. Dantzig (most-violated reduced cost, full scan) for the first
+//     devexAfter iterations. The warm re-solves that dominate branch-and-
+//     bound finish in a handful of pivots, where Dantzig's myopic pick is
+//     cheap and almost always right.
+//  2. Devex (Forrest–Goldfarb reference weights, reset at the switch) with
+//     partial pricing over column blocks once the call exceeds devexAfter
+//     iterations — the long tail of large cold solves, where Dantzig's
+//     zig-zagging is what makes them long. Candidates score d²/γ; the block
+//     rotor advances deterministically and persists across solves.
+//  3. Bland's rule after blandAfter consecutive degenerate pivots, which
+//     guarantees termination.
+//
+// Every stage breaks ties to the lowest column index and switches on
+// deterministic iteration counts, so pivot sequences — and therefore
+// solutions — are bit-for-bit reproducible for a given problem and options.
+func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
+	m := s.m
+	y := s.y
+	w := s.w
+
+	devexAfter := s.opt.devexAfter()
+	gamma := s.gamma
+	useDevex := false
+
+	// Bland's rule engages after a burst of degenerate pivots to guarantee
+	// termination; staged Dantzig/Devex pricing is used otherwise for speed.
+	degenerate := 0
+
+	nBlocks := (priceLimit + priceBlock - 1) / priceBlock
+	callIters := 0
+
+	for {
+		if s.iters >= s.opt.MaxIter {
+			return IterLimit
+		}
+		if s.cancelled() {
+			return Cancelled
+		}
+		s.iters++
+		callIters++
+
+		// y = c_B^T · B^-1
+		clear(y)
+		for i := 0; i < m; i++ {
+			cb := cost[s.basis[i]]
+			if exactZero(cb) {
+				continue
+			}
+			row := s.binv[i*m : (i+1)*m]
+			for k := 0; k < m; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+
+		if !useDevex && callIters > devexAfter {
+			// Escalate to Devex: reset the reference framework to the
+			// current nonbasic set (all weights 1).
+			useDevex = true
+			for j := 0; j < priceLimit; j++ {
+				gamma[j] = 1
+			}
+		}
+
+		// Price nonbasic columns.
+		useBland := degenerate >= blandAfter
+		enter := -1
+		switch {
+		case useBland:
+			// Bland: first eligible column in index order, scanning all
+			// columns so optimality claims stay exact.
+			for j := 0; j < priceLimit; j++ {
+				if viol := s.priceOne(cost, y, j); viol > s.opt.Tol {
+					enter = j
+					break
+				}
+			}
+		case useDevex:
+			if s.rotor >= nBlocks {
+				s.rotor = 0
+			}
+			var enterScore float64
+			for scanned := 0; scanned < nBlocks && enter == -1; scanned++ {
+				blk := s.rotor + scanned
+				if blk >= nBlocks {
+					blk -= nBlocks
+				}
+				jEnd := (blk + 1) * priceBlock
+				if jEnd > priceLimit {
+					jEnd = priceLimit
+				}
+				for j := blk * priceBlock; j < jEnd; j++ {
+					viol := s.priceOne(cost, y, j)
+					if viol <= s.opt.Tol {
+						continue
+					}
+					score := viol * viol / gamma[j]
+					if enter == -1 || score > enterScore {
+						enter, enterScore = j, score
+					}
+				}
+				if enter != -1 {
+					s.rotor = blk
+				}
+			}
+		default:
+			// Dantzig: most-violated reduced cost over all columns.
+			best := s.opt.Tol
+			for j := 0; j < priceLimit; j++ {
+				if viol := s.priceOne(cost, y, j); viol > best {
+					enter = j
+					best = viol
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+
+		// Direction of change for the entering variable.
+		sigma := 1.0 // increasing from lower bound
+		if s.atUp[enter] {
+			sigma = -1.0
+		}
+
+		// w = B^-1 · a_enter
+		clear(w)
+		for _, nz := range s.cols[enter] {
+			col := nz.Index
+			v := nz.Value
+			for i := 0; i < m; i++ {
+				w[i] += s.binv[i*m+col] * v
+			}
+		}
+
+		// Ratio test: basic variable i changes by -sigma·t·w[i].
+		tMax := s.up[enter] - s.lo[enter] // bound-flip distance (may be +Inf)
+		leave := -1
+		leaveToUpper := false
+		piv := s.opt.Tol * 10
+		for i := 0; i < m; i++ {
+			step := -sigma * w[i]
+			if step > piv { // basic value increases toward its upper bound
+				bi := s.basis[i]
+				if math.IsInf(s.up[bi], 1) {
+					continue
+				}
+				t := (s.up[bi] - s.x[bi]) / step
+				if t < tMax-s.opt.Tol || (t < tMax+s.opt.Tol && leave == -1) {
+					tMax, leave, leaveToUpper = t, i, true
+				}
+			} else if step < -piv { // basic value decreases toward its lower bound
+				bi := s.basis[i]
+				t := (s.x[bi] - s.lo[bi]) / -step
+				if t < tMax-s.opt.Tol || (t < tMax+s.opt.Tol && leave == -1) {
+					tMax, leave, leaveToUpper = t, i, false
+				}
+			}
+		}
+
+		if math.IsInf(tMax, 1) {
+			return Unbounded
+		}
+		if tMax < 0 {
+			tMax = 0
+		}
+		if tMax <= s.opt.Tol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+
+		// Apply the step.
+		for i := 0; i < m; i++ {
+			bi := s.basis[i]
+			s.x[bi] -= sigma * tMax * w[i]
+		}
+		s.x[enter] += sigma * tMax
+
+		if leave == -1 {
+			// Bound flip: entering variable moved to its other bound. No
+			// basis change, so Devex weights are untouched.
+			s.atUp[enter] = !s.atUp[enter]
+			continue
+		}
+
+		// Devex weight update, using the pivot row of the CURRENT inverse
+		// (read before updateInverse overwrites it): for each nonbasic j,
+		// γ_j ← max(γ_j, (α_j/α_q)²·γ_q) where α = pivot-row entries.
+		// Weights are only maintained while the Devex stage is active.
+		if useDevex && !useBland {
+			s.devexUpdate(gamma, priceLimit, enter, leave, w[leave])
+		}
+
+		// Pivot: replace basis[leave] with enter.
+		out := s.basis[leave]
+		s.inRow[out] = -1
+		s.atUp[out] = leaveToUpper
+		// Snap the leaving variable exactly onto its bound.
+		if leaveToUpper {
+			s.x[out] = s.up[out]
+		} else {
+			s.x[out] = s.lo[out]
+		}
+		s.basis[leave] = enter
+		s.inRow[enter] = leave
+		s.updateInverse(leave, w)
+		s.pivots++
+		if s.pivots >= reinvertEvery {
+			s.reinvert()
+		}
+	}
+}
+
+// priceOne computes the pricing violation of nonbasic column j against dual
+// prices y: how far its reduced cost violates the optimality sign condition
+// for its bound status. Basic and fixed columns report 0.
+func (s *Workspace) priceOne(cost, y []float64, j int) float64 {
+	if s.inRow[j] >= 0 || exactEqual(s.lo[j], s.up[j]) {
+		return 0
+	}
+	d := cost[j]
+	for _, nz := range s.cols[j] {
+		d -= y[nz.Index] * nz.Value
+	}
+	if s.atUp[j] {
+		return d // want d > 0 to decrease from upper bound
+	}
+	return -d // want d < 0 to increase from lower bound
+}
+
+// devexUpdate propagates Devex reference weights across a pivot where
+// column enter replaces the basic variable of row leave, with pivot element
+// alphaQ = (B^-1 a_enter)[leave]. The pivot row of the pre-update inverse
+// supplies α_j = (B^-1)_leave · a_j for every nonbasic column.
+func (s *Workspace) devexUpdate(gamma []float64, priceLimit, enter, leave int, alphaQ float64) {
+	m := s.m
+	if math.Abs(alphaQ) < 1e-12 {
+		return
+	}
+	gq := gamma[enter]
+	binvRow := s.binv[leave*m : (leave+1)*m]
+	for j := 0; j < priceLimit; j++ {
+		if s.inRow[j] >= 0 || j == enter {
+			continue
+		}
+		alpha := 0.0
+		for _, nz := range s.cols[j] {
+			alpha += binvRow[nz.Index] * nz.Value
+		}
+		if exactZero(alpha) {
+			continue
+		}
+		r := alpha / alphaQ
+		if g := r * r * gq; g > gamma[j] {
+			gamma[j] = g
+		}
+	}
+	// The leaving variable becomes nonbasic with the entering column's
+	// weight scaled through the pivot, floored at the reference weight 1.
+	out := s.basis[leave]
+	if out < priceLimit {
+		gl := gq / (alphaQ * alphaQ)
+		if gl < 1 {
+			gl = 1
+		}
+		gamma[out] = gl
+	}
+}
+
+// dualSimplex restores primal feasibility from a dual-feasible basis after
+// bound changes, the branch-and-bound warm-start workhorse. It returns
+// Optimal when the basis is primal feasible, Infeasible when no pivot can
+// repair a violated basic variable, or IterLimit.
+func (s *Workspace) dualSimplex(cost []float64) Status {
+	m := s.m
+	y := s.y
+	w := s.w
+	ptol := s.opt.Tol * 1e3 // primal bound tolerance
+
+	for {
+		if s.iters >= s.opt.MaxIter {
+			return IterLimit
+		}
+		if s.cancelled() {
+			return Cancelled
+		}
+
+		// Leaving row: largest bound violation among basic variables.
+		leave := -1
+		worst := ptol
+		var target float64 // bound the leaving variable snaps to
+		for i := 0; i < m; i++ {
+			bi := s.basis[i]
+			if v := s.lo[bi] - s.x[bi]; v > worst {
+				worst, leave, target = v, i, s.lo[bi]
+			}
+			if v := s.x[bi] - s.up[bi]; v > worst {
+				worst, leave, target = v, i, s.up[bi]
+			}
+		}
+		if leave == -1 {
+			return Optimal
+		}
+		s.iters++
+		s.diters++
+
+		// y = c_B^T B^-1 for reduced costs.
+		clear(y)
+		for i := 0; i < m; i++ {
+			cb := cost[s.basis[i]]
+			if exactZero(cb) {
+				continue
+			}
+			row := s.binv[i*m : (i+1)*m]
+			for k := 0; k < m; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+		binvRow := s.binv[leave*m : (leave+1)*m]
+		below := s.x[s.basis[leave]] < target // violated below: value must rise
+
+		// Entering column: dual ratio test.
+		enter := -1
+		bestRatio := math.Inf(1)
+		var alphaQ float64
+		for j := 0; j < s.n; j++ {
+			if s.inRow[j] >= 0 || exactEqual(s.lo[j], s.up[j]) {
+				continue
+			}
+			alpha := 0.0
+			for _, nz := range s.cols[j] {
+				alpha += binvRow[nz.Index] * nz.Value
+			}
+			if math.Abs(alpha) < 1e-9 {
+				continue
+			}
+			// Admissible directions: see package docs. The leaving value
+			// changes by -Δq·alpha; Δq ≥ 0 for atLower, ≤ 0 for atUpper.
+			ok := false
+			if !s.atUp[j] { // can increase: Δq ≥ 0 → change = -alpha·Δq
+				ok = (below && alpha < 0) || (!below && alpha > 0)
+			} else { // can decrease: Δq ≤ 0 → change = +alpha·|Δq|
+				ok = (below && alpha > 0) || (!below && alpha < 0)
+			}
+			if !ok {
+				continue
+			}
+			d := cost[j]
+			for _, nz := range s.cols[j] {
+				d -= y[nz.Index] * nz.Value
+			}
+			ratio := math.Abs(d) / math.Abs(alpha)
+			if ratio < bestRatio {
+				bestRatio, enter, alphaQ = ratio, j, alpha
+			}
+		}
+		if enter == -1 {
+			return Infeasible // no pivot can repair the violation
+		}
+
+		// Pivot: move entering by Δq so the leaving variable hits target.
+		clear(w)
+		for _, nz := range s.cols[enter] {
+			col := nz.Index
+			v := nz.Value
+			for i := 0; i < m; i++ {
+				w[i] += s.binv[i*m+col] * v
+			}
+		}
+		dq := (s.x[s.basis[leave]] - target) / alphaQ
+		for i := 0; i < m; i++ {
+			s.x[s.basis[i]] -= dq * w[i]
+		}
+		newVal := s.x[enter] + dq
+
+		out := s.basis[leave]
+		s.inRow[out] = -1
+		s.atUp[out] = exactEqual(target, s.up[out]) && !exactEqual(s.lo[out], s.up[out])
+		s.x[out] = target
+		s.basis[leave] = enter
+		s.inRow[enter] = leave
+		s.x[enter] = newVal
+		s.updateInverse(leave, w)
+		s.pivots++
+		if s.pivots >= reinvertEvery {
+			s.reinvert()
+		}
+	}
+}
+
+// updateInverse applies a Gauss-Jordan elimination step so that binv remains
+// the inverse of the basis matrix after column r of the basis was replaced by
+// a column whose B^-1-transformed image is w.
+func (s *Workspace) updateInverse(r int, w []float64) {
+	m := s.m
+	pivot := w[r]
+	if math.Abs(pivot) < 1e-12 {
+		// Numerically hopeless pivot; rebuild from scratch.
+		s.reinvert()
+		return
+	}
+	inv := 1.0 / pivot
+	rowR := s.binv[r*m : (r+1)*m]
+	for k := 0; k < m; k++ {
+		rowR[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i]
+		if exactZero(f) {
+			continue
+		}
+		row := s.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			row[k] -= f * rowR[k]
+		}
+	}
+}
+
+// reinvert recomputes the dense basis inverse from scratch by Gauss-Jordan
+// elimination with partial pivoting, then recomputes basic variable values
+// from the nonbasic point. It bounds accumulated floating-point drift.
+func (s *Workspace) reinvert() {
+	metrics.LP.Refactorizations.Add(1)
+	m := s.m
+	// Build dense basis matrix in the workspace scratch.
+	bm := s.bm
+	clear(bm)
+	for i := 0; i < m; i++ {
+		for _, nz := range s.cols[s.basis[i]] {
+			bm[nz.Index*m+i] = nz.Value
+		}
+	}
+	inv := s.binv
+	clear(inv)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	// Gauss-Jordan with partial pivoting on bm, mirroring into inv.
+	for col := 0; col < m; col++ {
+		p := col
+		maxAbs := math.Abs(bm[col*m+col])
+		for r := col + 1; r < m; r++ {
+			if a := math.Abs(bm[r*m+col]); a > maxAbs {
+				maxAbs, p = a, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			continue // singular direction; leave as-is (degenerate basis)
+		}
+		if p != col {
+			swapRows(bm, m, p, col)
+			swapRows(inv, m, p, col)
+		}
+		d := 1.0 / bm[col*m+col]
+		for k := 0; k < m; k++ {
+			bm[col*m+k] *= d
+			inv[col*m+k] *= d
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := bm[r*m+col]
+			if exactZero(f) {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				bm[r*m+k] -= f * bm[col*m+k]
+				inv[r*m+k] -= f * inv[col*m+k]
+			}
+		}
+	}
+	s.pivots = 0
+	s.recomputeBasics()
+}
+
+// recomputeBasics sets x_B = B^-1 (b - N x_N) from the nonbasic point.
+func (s *Workspace) recomputeBasics() {
+	m := s.m
+	resid := s.resid
+	copy(resid, s.b)
+	for j := 0; j < s.n; j++ {
+		if s.inRow[j] >= 0 || exactZero(s.x[j]) {
+			continue
+		}
+		for _, nz := range s.cols[j] {
+			resid[nz.Index] -= nz.Value * s.x[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		v := 0.0
+		row := s.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			v += row[k] * resid[k]
+		}
+		s.x[s.basis[i]] = v
+	}
+}
+
+func swapRows(a []float64, m, i, j int) {
+	ri := a[i*m : (i+1)*m]
+	rj := a[j*m : (j+1)*m]
+	for k := 0; k < m; k++ {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

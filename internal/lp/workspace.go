@@ -1,0 +1,601 @@
+package lp
+
+import (
+	"context"
+	"math"
+
+	"ras/internal/metrics"
+)
+
+// Workspace holds every piece of solver state that survives between solves:
+// the simplex structure derived from a Problem's rows (sparse columns, the
+// slack/artificial layout, the constant phase-1 cost vector), the basis
+// state of the previous solve (basis, statuses, the dense inverse), and all
+// pricing/ratio-test scratch vectors. Building the structure is O(nnz + m)
+// and the dense inverse is O(m²) of memory; re-entering a workspace for a
+// problem of the same shape reuses all of it, which makes steady-state
+// re-solves allocation-free apart from the Solution's X vector.
+//
+// A Workspace is owned by one goroutine at a time. It retargets itself
+// automatically when handed a different Problem or a Problem whose shape
+// (variable or row count) changed since the last solve; retained basis
+// state is discarded on retarget.
+//
+// Variables are indexed 0..nStruct-1 structural, then slacks, then one
+// artificial per row starting at artStart.
+type Workspace struct {
+	// Per-solve context, reset on every entry.
+	ctx    context.Context
+	opt    Options
+	iters  int
+	diters int
+
+	// Structure, rebuilt by reshape when the owner or shape changes.
+	owner    *Problem
+	m        int // rows
+	n        int // total columns (structural + slacks + artificials)
+	nStruct  int // structural variable count
+	cols     [][]Nonzero
+	artStart int       // first artificial column index
+	slackOf  []int     // row → slack column, or -1 for equality rows
+	phase1   []float64 // phase-1 cost vector: 1 on artificials, else 0
+
+	// Numeric inputs, refreshed from the Problem on every entry.
+	cost []float64 // phase-2 costs (structural section copied per solve)
+	lo   []float64
+	up   []float64
+	b    []float64 // row RHS (equalities)
+
+	// Working basis state, mutated freely during a solve.
+	basis  []int     // basis[i] = column basic in row i
+	inRow  []int     // inRow[j] = row where j is basic, or -1
+	atUp   []bool    // nonbasic at upper bound (else at lower)
+	x      []float64 // current value of every column
+	binv   []float64 // dense m×m basis inverse, row-major
+	pivots int       // pivots since last reinversion
+
+	// Retained good basis: a snapshot of the most recent optimal,
+	// artificial-free basis, the warm-start seed for ReuseBasis solves. The
+	// advance rule is exactly the one the historical Basis export/import
+	// chain followed — non-optimal or artificial-containing terminal bases
+	// never advance it — so a ReuseBasis solve sequence pivots identically
+	// to the old chain while performing no allocations.
+	goodCols   []int
+	goodAtUp   []bool
+	goodBinv   []float64
+	goodPivots int
+	goodOK     bool // a good snapshot exists for the current shape
+	liveIsGood bool // working binv still equals goodBinv (skip the restore copy)
+
+	// Scratch buffers.
+	y     []float64 // dual prices c_B^T B^-1
+	w     []float64 // pivot column B^-1 a_q
+	resid []float64 // residual / reinversion RHS scratch
+	bm    []float64 // reinversion: dense basis matrix scratch
+
+	// Devex pricing state: reference weights (reset per optimize call) and
+	// the partial-pricing block rotor, which persists across solves so
+	// pricing effort rotates through the columns deterministically.
+	gamma []float64
+	rotor int
+}
+
+// NewWorkspace returns an empty workspace. Structure is built lazily on the
+// first solve and rebuilt whenever the problem shape changes.
+func NewWorkspace() *Workspace {
+	return &Workspace{}
+}
+
+// solve is the single entry point behind Problem.Solve/SolveWith. Options
+// are already defaulted by the caller.
+func (s *Workspace) solve(ctx context.Context, p *Problem, opt Options) Solution {
+	reused := s.reshape(p)
+	if reused {
+		metrics.LP.WorkspaceReuses.Add(1)
+	}
+	s.ctx = ctx
+	s.opt = opt
+	if opt.MaxIter == 0 {
+		s.opt.MaxIter = 2000 + 40*(s.m+s.n)
+	}
+	s.iters = 0
+	s.diters = 0
+	s.refresh(p)
+
+	// Warm-start preference order: the workspace's own retained good basis
+	// (no allocations, no binv copy in steady state), then an imported basis
+	// snapshot, then cold.
+	if opt.ReuseBasis && s.goodOK && reused {
+		if sol, ok := s.runReuse(); ok {
+			metrics.LP.WarmHits.Add(1)
+			sol.WarmStarted = true
+			return sol
+		}
+		metrics.LP.WarmMisses.Add(1)
+		warmIters := s.iters
+		s.iters = 0
+		s.diters = 0
+		s.refresh(p) // warm attempt pinned artificial bounds; reset them
+		sol := s.run()
+		sol.Iterations += warmIters
+		return sol
+	}
+	if opt.Start != nil {
+		if sol, ok := s.runWarm(opt.Start); ok {
+			metrics.LP.WarmHits.Add(1)
+			sol.WarmStarted = true
+			return sol
+		}
+		metrics.LP.WarmMisses.Add(1)
+		warmIters := s.iters
+		s.iters = 0
+		s.diters = 0
+		s.refresh(p)
+		sol := s.run()
+		sol.Iterations += warmIters
+		return sol
+	}
+	return s.run()
+}
+
+// reshape points the workspace at p, rebuilding the simplex structure unless
+// the workspace already holds it for this exact problem and shape. It
+// reports whether the existing structure was reused.
+func (s *Workspace) reshape(p *Problem) bool {
+	m, nStruct := len(p.rows), len(p.cost)
+	if s.owner == p && s.m == m && s.nStruct == nStruct {
+		return true
+	}
+	s.owner = p
+	s.m = m
+	s.nStruct = nStruct
+	s.goodOK = false
+	s.liveIsGood = false
+	s.pivots = 0
+	s.rotor = 0
+
+	// Structural columns from the sparse rows.
+	cols := make([][]Nonzero, nStruct, nStruct+2*m)
+	for i, row := range p.rows {
+		for _, nz := range row {
+			cols[nz.Index] = append(cols[nz.Index], Nonzero{Index: i, Value: nz.Value})
+		}
+	}
+
+	// Slack columns: one per inequality row, +1 for LE and -1 for GE, with
+	// fixed bounds [0, +Inf) and zero cost.
+	s.slackOf = make([]int, m)
+	for i := range s.slackOf {
+		s.slackOf[i] = -1
+	}
+	for i, sense := range p.senses {
+		switch sense {
+		case LE:
+			s.slackOf[i] = len(cols)
+			cols = append(cols, []Nonzero{{Index: i, Value: 1}})
+		case GE:
+			s.slackOf[i] = len(cols)
+			cols = append(cols, []Nonzero{{Index: i, Value: -1}})
+		case EQ:
+			// no slack
+		}
+	}
+
+	s.artStart = len(cols)
+	for i := 0; i < m; i++ {
+		cols = append(cols, []Nonzero{{Index: i, Value: 1}}) // sign fixed per cold start
+	}
+	s.cols = cols
+	s.n = len(cols)
+	n := s.n
+
+	s.cost = make([]float64, n)
+	s.lo = make([]float64, n)
+	s.up = make([]float64, n)
+	s.b = make([]float64, m)
+	for j := s.nStruct; j < s.artStart; j++ {
+		s.up[j] = Inf // slack bounds are constant: [0, +Inf)
+	}
+	s.phase1 = make([]float64, n)
+	for i := 0; i < m; i++ {
+		s.phase1[s.artStart+i] = 1
+	}
+
+	s.basis = make([]int, m)
+	s.inRow = make([]int, n)
+	s.atUp = make([]bool, n)
+	s.x = make([]float64, n)
+	s.binv = make([]float64, m*m)
+	s.goodCols = make([]int, m)
+	s.goodAtUp = make([]bool, n)
+	s.goodBinv = make([]float64, m*m)
+
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	s.resid = make([]float64, m)
+	s.bm = make([]float64, m*m)
+	s.gamma = make([]float64, n)
+	return false
+}
+
+// refresh copies the problem's current numeric data (costs, bounds, RHS)
+// into the workspace and resets the artificial bounds to their pre-solve
+// state. Structure and basis state are untouched.
+func (s *Workspace) refresh(p *Problem) {
+	copy(s.cost[:s.nStruct], p.cost)
+	copy(s.lo[:s.nStruct], p.lo)
+	copy(s.up[:s.nStruct], p.up)
+	copy(s.b, p.rhs)
+	for i := 0; i < s.m; i++ {
+		a := s.artStart + i
+		s.lo[a] = 0
+		s.up[a] = Inf
+	}
+}
+
+// run performs the two-phase cold solve.
+func (s *Workspace) run() Solution {
+	m := s.m
+	s.liveIsGood = false
+
+	// Initial point: every non-artificial variable at a finite bound
+	// (prefer the lower bound, which is always finite).
+	clear(s.x)
+	clear(s.atUp)
+	for j := 0; j < s.artStart; j++ {
+		s.x[j] = s.lo[j]
+	}
+
+	// Residual r = b - A·x determines artificial signs and values.
+	resid := s.resid
+	copy(resid, s.b)
+	for j := 0; j < s.artStart; j++ {
+		if exactZero(s.x[j]) {
+			continue
+		}
+		for _, nz := range s.cols[j] {
+			resid[nz.Index] -= nz.Value * s.x[j]
+		}
+	}
+	// Initial basis: a row's own slack when the slack value would be
+	// feasible (a "crash" basis that usually covers most rows), otherwise
+	// the row's artificial. Artificials stay fixed at zero for rows that
+	// do not need one.
+	for j := range s.inRow {
+		s.inRow[j] = -1
+	}
+	needPhase1 := false
+	for i := 0; i < m; i++ {
+		a := s.artStart + i
+		if resid[i] < 0 {
+			s.cols[a][0].Value = -1
+		} else {
+			s.cols[a][0].Value = 1
+		}
+		sl := s.slackOf[i]
+		slackVal := 0.0
+		useSlack := false
+		if sl >= 0 {
+			// slack coefficient is +1 for LE, -1 for GE.
+			slackVal = resid[i] * s.cols[sl][0].Value
+			useSlack = slackVal >= 0
+		}
+		if useSlack {
+			s.basis[i] = sl
+			s.inRow[sl] = i
+			s.x[sl] = slackVal
+			s.up[a] = 0 // artificial unused; pin it
+		} else {
+			s.basis[i] = a
+			s.inRow[a] = i
+			s.x[a] = math.Abs(resid[i])
+			if s.x[a] > s.opt.Tol {
+				needPhase1 = true
+			}
+		}
+	}
+	s.reinvert()
+
+	// Phase 1: minimize the sum of active artificials.
+	if needPhase1 {
+		st := s.optimize(s.phase1, s.artStart)
+		if st == IterLimit || st == Cancelled {
+			return Solution{Status: st, X: s.structX(), Iterations: s.iters}
+		}
+		infeas := 0.0
+		for i := 0; i < m; i++ {
+			infeas += s.x[s.artStart+i]
+		}
+		if infeas > s.feasTol() {
+			return Solution{Status: Infeasible, X: s.structX(), Iterations: s.iters}
+		}
+	}
+
+	// Pin artificials to zero for phase 2. Basic artificials (degenerate at
+	// zero) are allowed to remain basic; the bound pin keeps them at zero.
+	for i := 0; i < m; i++ {
+		a := s.artStart + i
+		s.up[a] = 0
+		if !exactZero(s.x[a]) {
+			s.x[a] = 0 // clean up residual fuzz below tolerance
+		}
+	}
+
+	// Phase 2: minimize the true objective.
+	st := s.optimize(s.cost, s.n)
+	return s.finish(st)
+}
+
+// finish assembles a Solution from the current state and advances the
+// retained good basis when the solve earned it.
+func (s *Workspace) finish(st Status) Solution {
+	obj := 0.0
+	for j := 0; j < s.nStruct; j++ {
+		obj += s.cost[j] * s.x[j]
+	}
+	sol := Solution{Status: st, Objective: obj, X: s.structX(), Iterations: s.iters, DualIters: s.diters}
+	if st == Optimal && s.opt.ExportBasis {
+		sol.Basis = s.exportBasis()
+	}
+	s.saveGood(st)
+	return sol
+}
+
+// saveGood snapshots the working basis as the retained warm-start seed when
+// it is optimal and artificial-free — the exact condition under which the
+// historical export/import chain advanced. Anything else leaves the previous
+// snapshot in place, so a later ReuseBasis solve warm-starts from the last
+// good basis rather than from an infeasible or truncated terminal state.
+func (s *Workspace) saveGood(st Status) {
+	s.liveIsGood = false
+	if st != Optimal {
+		return
+	}
+	for _, c := range s.basis {
+		if c >= s.artStart {
+			return
+		}
+	}
+	copy(s.goodCols, s.basis)
+	copy(s.goodAtUp, s.atUp)
+	copy(s.goodBinv, s.binv)
+	s.goodPivots = s.pivots
+	s.goodOK = true
+	s.liveIsGood = true
+}
+
+// exportBasis snapshots the basis if it contains no artificial columns
+// (artificial signs are cold-start-dependent, so such bases do not transfer).
+func (s *Workspace) exportBasis() *Basis {
+	for _, c := range s.basis {
+		if c >= s.artStart {
+			return nil
+		}
+	}
+	return &Basis{
+		cols:   append([]int(nil), s.basis...),
+		atUp:   append([]bool(nil), s.atUp[:s.n]...),
+		binv:   append([]float64(nil), s.binv...),
+		pivots: s.pivots,
+	}
+}
+
+// runReuse attempts a warm solve from the workspace's retained good basis —
+// the allocation-free fast path for branch-and-bound node LPs, where
+// consecutive solves differ only in variable bounds. The install is
+// numerically identical to importing an exported Basis snapshot of the same
+// state; when the working inverse is still the snapshot (the previous solve
+// ended by saving it), even the binv restore copy is skipped. It reports
+// ok=false when numerical or dual-feasibility checks fail, in which case the
+// caller cold-starts.
+func (s *Workspace) runReuse() (Solution, bool) {
+	m := s.m
+	live := s.liveIsGood
+	s.liveIsGood = false
+
+	for j := range s.inRow {
+		s.inRow[j] = -1
+	}
+	for i, c := range s.goodCols {
+		s.basis[i] = c
+		s.inRow[c] = i
+	}
+	// Install statuses: nonbasic at a bound, artificials pinned at zero.
+	clear(s.x)
+	clear(s.atUp)
+	for i := 0; i < m; i++ {
+		s.up[s.artStart+i] = 0
+	}
+	for j := 0; j < s.n; j++ {
+		if s.inRow[j] >= 0 {
+			continue
+		}
+		if s.goodAtUp[j] && !math.IsInf(s.up[j], 1) {
+			s.x[j] = s.up[j]
+			s.atUp[j] = true
+		} else {
+			s.x[j] = s.lo[j]
+		}
+	}
+	if s.goodPivots < reinvertEvery {
+		if !live {
+			copy(s.binv, s.goodBinv)
+		}
+		s.pivots = s.goodPivots
+		s.recomputeBasics()
+		if !s.residualOK() {
+			s.reinvert()
+		}
+	} else {
+		s.reinvert()
+	}
+	return s.warmFinish()
+}
+
+// runWarm attempts a warm-started solve from a previously exported basis.
+// It reports ok=false when the basis is structurally unusable or numerical
+// checks fail, in which case the caller should cold-start.
+func (s *Workspace) runWarm(start *Basis) (Solution, bool) {
+	m, n := s.m, s.n
+	s.liveIsGood = false
+	if len(start.cols) != m || len(start.atUp) != n {
+		return Solution{}, false
+	}
+	for j := range s.inRow {
+		s.inRow[j] = -1
+	}
+	for i, c := range start.cols {
+		if c < 0 || c >= s.artStart || s.inRow[c] >= 0 {
+			// Out-of-range, artificial, or duplicate column: unusable. Reset
+			// inRow so the basis state is not half-installed.
+			for j := range s.inRow {
+				s.inRow[j] = -1
+			}
+			return Solution{}, false
+		}
+		s.basis[i] = c
+		s.inRow[c] = i
+	}
+
+	// Install statuses: nonbasic at a bound, artificials pinned at zero.
+	clear(s.x)
+	clear(s.atUp)
+	for i := 0; i < m; i++ {
+		s.up[s.artStart+i] = 0
+	}
+	for j := 0; j < n; j++ {
+		if s.inRow[j] >= 0 {
+			continue
+		}
+		if start.atUp[j] && !math.IsInf(s.up[j], 1) {
+			s.x[j] = s.up[j]
+			s.atUp[j] = true
+		} else {
+			s.x[j] = s.lo[j]
+		}
+	}
+	if len(start.binv) == m*m && start.pivots < reinvertEvery {
+		// Reuse the cached inverse (bounds do not enter B) and only
+		// recompute the basic values — then verify the result actually
+		// satisfies A·x = b. Long export/import chains accumulate drift;
+		// a violated residual means the cached inverse is stale.
+		copy(s.binv, start.binv)
+		s.pivots = start.pivots
+		s.recomputeBasics()
+		if !s.residualOK() {
+			s.reinvert()
+		}
+	} else {
+		s.reinvert()
+	}
+	return s.warmFinish()
+}
+
+// warmFinish is the shared tail of every warm start: dual feasibility check,
+// dual-simplex repair of primal feasibility, then a primal polish. The
+// fallback rules keep warm verdicts sound: infeasibility and unboundedness
+// claims are never trusted from a warm basis (the caller re-verifies cold),
+// while cancellation is returned directly — the point of cancelling is to
+// stop working, not to re-solve from scratch.
+func (s *Workspace) warmFinish() (Solution, bool) {
+	// The warm basis came from an optimal solve with the same costs, so it
+	// should be dual feasible; verify cheaply so dual-simplex infeasibility
+	// verdicts can be trusted.
+	if !s.dualFeasible(s.cost) {
+		return Solution{}, false
+	}
+
+	switch st := s.dualSimplex(s.cost); st {
+	case Infeasible:
+		// A dual-simplex infeasibility proof is only as sound as the dual
+		// feasibility of every intermediate basis, which accumulated
+		// floating-point drift can silently break. Never report
+		// infeasibility from the warm path; make the caller verify cold.
+		return Solution{}, false
+	case IterLimit:
+		return Solution{}, false
+	case Cancelled:
+		return s.finish(Cancelled), true
+	}
+	// Primal feasible now; polish with primal iterations (usually zero).
+	st := s.optimize(s.cost, s.n)
+	if st == Unbounded {
+		// A warm start cannot soundly prove unboundedness after bound
+		// changes narrowed and re-widened variables; re-verify cold.
+		return Solution{}, false
+	}
+	if st == Optimal && !s.residualOK() {
+		return Solution{}, false // numerical drift; the caller re-solves cold
+	}
+	return s.finish(st), true
+}
+
+// residualOK verifies A·x = b within tolerance across every row — a cheap
+// O(nnz) guard against stale basis inverses on the warm path.
+func (s *Workspace) residualOK() bool {
+	resid := s.resid
+	copy(resid, s.b)
+	for j := 0; j < s.n; j++ {
+		if exactZero(s.x[j]) {
+			continue
+		}
+		for _, nz := range s.cols[j] {
+			resid[nz.Index] -= nz.Value * s.x[j]
+		}
+	}
+	for i, r := range resid {
+		if math.Abs(r) > 1e-6*(1+math.Abs(s.b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// dualFeasible checks the sign conditions of all nonbasic reduced costs.
+func (s *Workspace) dualFeasible(cost []float64) bool {
+	m := s.m
+	y := s.y
+	clear(y)
+	for i := 0; i < m; i++ {
+		cb := cost[s.basis[i]]
+		if exactZero(cb) {
+			continue
+		}
+		row := s.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+	tol := math.Max(s.opt.Tol*1e3, 1e-6)
+	for j := 0; j < s.n; j++ {
+		if s.inRow[j] >= 0 || exactEqual(s.lo[j], s.up[j]) {
+			continue
+		}
+		d := cost[j]
+		for _, nz := range s.cols[j] {
+			d -= y[nz.Index] * nz.Value
+		}
+		if s.atUp[j] {
+			if d > tol {
+				return false
+			}
+		} else if d < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Workspace) feasTol() float64 { return s.opt.Tol * float64(1+s.m) * 100 }
+
+// cancelled polls the solve context every few iterations. The check runs
+// once per simplex pivot, whose own cost (an O(m·n) pricing pass) dwarfs the
+// atomic load inside ctx.Err, so polling every iteration keeps cancellation
+// latency at a single pivot without measurable overhead.
+func (s *Workspace) cancelled() bool { return s.ctx.Err() != nil }
+
+func (s *Workspace) structX() []float64 {
+	out := make([]float64, s.nStruct)
+	copy(out, s.x[:s.nStruct])
+	return out
+}

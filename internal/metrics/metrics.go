@@ -261,4 +261,30 @@ var Solver struct {
 	NodesExplored    Counter
 	IncumbentUpdates Counter
 	HeuristicWins    Counter
+	// RoundWarmHits/RoundWarmMisses count cross-round warm-start seeding at
+	// the solver layer: a hit when a persisted basis from round k matched
+	// the round k+1 model shape and was passed to the root LP, a miss when
+	// a basis was offered but the shape had drifted and the round fell back
+	// to a cold start.
+	RoundWarmHits   Counter
+	RoundWarmMisses Counter
+}
+
+// LP aggregates process-wide counters from the simplex kernel (internal/lp):
+// solve and iteration volume, how often warm starts were attempted and how
+// they fared, and how much structural work was amortized away. WarmHits
+// counts solves completed by a warm path (workspace basis reuse or basis
+// import); WarmMisses counts warm attempts that fell back to a cold start.
+// Refactorizations counts dense basis reinversions — the O(m³) events the
+// warm paths exist to avoid — and WorkspaceReuses counts solves that
+// re-entered an already-built workspace structure instead of rebuilding
+// sparse columns and the slack/artificial layout.
+var LP struct {
+	Solves           Counter
+	Iterations       Counter
+	DualIterations   Counter
+	Refactorizations Counter
+	WorkspaceReuses  Counter
+	WarmHits         Counter
+	WarmMisses       Counter
 }

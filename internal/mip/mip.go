@@ -301,6 +301,12 @@ type Options struct {
 	// NoWarmStart disables LP warm starts between node/heuristic solves
 	// (ablation: every LP solves from a cold crash basis).
 	NoWarmStart bool
+	// RootBasis warm-starts the root relaxation from a basis exported by a
+	// previous solve's Result.RootBasis — the cross-round warm start of the
+	// RAS async solver, whose consecutive rounds solve near-identical
+	// problems. A basis whose shape no longer matches the problem silently
+	// falls back to a cold root solve.
+	RootBasis *lp.Basis
 	// Workers is the number of parallel branch-and-bound workers. 0 or 1
 	// run the exact serial algorithm — results are bit-for-bit reproducible
 	// and identical to the historical single-threaded solver. Values > 1
@@ -332,6 +338,13 @@ type Result struct {
 	// heuristics (round/repair/complete and diving) rather than by
 	// integral node relaxations.
 	HeuristicWins int
+	// RootBasis is the root relaxation's exported basis when it solved to
+	// optimality (nil otherwise). Feed it to the next solve's
+	// Options.RootBasis to warm-start across rounds.
+	RootBasis *lp.Basis
+	// RootLPIters counts the simplex iterations of the root relaxation
+	// alone — the quantity cross-round warm starts shrink.
+	RootLPIters int
 }
 
 // Gap reports the absolute optimality gap incumbent − bound (0 when proven

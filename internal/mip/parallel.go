@@ -183,9 +183,11 @@ func (s *search) processNode(nd node) (children []node, requeue bool) {
 func (m *Model) solveParallel(e *engine) Result {
 	opt := e.opt
 	res := Result{Status: NoSolution, Objective: math.Inf(1), Bound: math.Inf(-1)}
-	root := newSearch(e, &m.prob, nil)
+	root := newSearch(e, &m.prob, e.opt.RootBasis)
 
-	rootSol := root.solveLP()
+	rootSol := root.solveRootLP()
+	res.RootBasis = rootSol.Basis
+	res.RootLPIters = rootSol.Iterations
 	if e.handleRootStatus(&res, rootSol) {
 		return res
 	}
@@ -243,12 +245,12 @@ func (m *Model) solveParallel(e *engine) Result {
 	wg.Wait()
 
 	// Final polish at root bounds on the model's own problem (all workers
-	// have joined; no clone can race it).
+	// have joined; no clone can race it). The root search's workspace still
+	// holds the root basis as its warm-start seed.
 	if inc, _ := e.incumbentCopy(); inc != nil {
 		for j := 0; j < e.n; j++ {
 			root.prob.SetBounds(j, e.rootLo[j], e.rootUp[j])
 		}
-		root.warmBasis = rootSol.Basis
 		root.roundRepairComplete(inc)
 	}
 

@@ -50,6 +50,7 @@ type engine struct {
 	incMu      sync.Mutex
 	incumbent  []float64
 	incObj     float64 // objective without objOffset, +Inf when none
+	incCopy    []float64
 	incUpdates int
 	heurWins   int
 
@@ -174,14 +175,19 @@ func (e *engine) offer(x []float64, obj float64, heuristic bool) bool {
 	return true
 }
 
-// incumbentCopy snapshots the shared incumbent (nil when none exists).
+// incumbentCopy snapshots the shared incumbent (nil when none exists) into
+// an engine-owned buffer that the next call overwrites. Call sites all sit
+// in the serial phases of a solve (before workers fork, after they join), so
+// at most one snapshot is live at a time; the final one may escape into
+// Result.X, which is safe because the engine dies with the solve.
 func (e *engine) incumbentCopy() ([]float64, float64) {
 	e.incMu.Lock()
 	defer e.incMu.Unlock()
 	if e.incumbent == nil {
 		return nil, e.incObj
 	}
-	return append([]float64(nil), e.incumbent...), e.incObj
+	e.incCopy = append(e.incCopy[:0], e.incumbent...)
+	return e.incCopy, e.incObj
 }
 
 // fillStats copies the engine's accumulated statistics into res.
@@ -238,43 +244,71 @@ func (e *engine) handleRootStatus(res *Result, rootSol lp.Solution) bool {
 // search is the per-goroutine solve scratch: a problem whose bounds this
 // goroutine may mutate freely (the model's own problem for the serial
 // driver and the root of the parallel one; a Clone for every worker and
-// heuristic goroutine), plus the goroutine-local LP warm-start basis.
-// Nothing in a search is shared across goroutines; everything shared lives
-// in the engine.
+// heuristic goroutine), the goroutine's LP workspace — which retains the
+// simplex structure, all solver scratch, and the warm-start basis chain
+// across every node and heuristic LP of this search — and reusable point
+// buffers for the heuristics. Nothing in a search is shared across
+// goroutines; everything shared lives in the engine.
 type search struct {
-	m         *Model
-	e         *engine
-	prob      *lp.Problem
-	warmBasis *lp.Basis
-	forceCold bool
-	xbuf      []float64
+	m          *Model
+	e          *engine
+	prob       *lp.Problem
+	ws         *lp.Workspace
+	seedBasis  *lp.Basis // imported seed for the first warm solves (root basis, cross-round basis)
+	exportNext bool      // export the next LP's basis (root relaxations)
+	forceCold  bool
+	xbuf       []float64 // rounding-heuristic point
+	xibuf      []float64 // roundRepairComplete working point
+	divebuf    []float64 // dive working point
+	checkbuf   []float64 // dive batch-rollback checkpoint
 }
 
-func newSearch(e *engine, prob *lp.Problem, warm *lp.Basis) *search {
-	return &search{m: e.m, e: e, prob: prob, warmBasis: warm, xbuf: make([]float64, e.n)}
+func newSearch(e *engine, prob *lp.Problem, seed *lp.Basis) *search {
+	return &search{
+		m: e.m, e: e, prob: prob,
+		ws:        lp.NewWorkspace(),
+		seedBasis: seed,
+		xbuf:      make([]float64, e.n),
+		xibuf:     make([]float64, e.n),
+		divebuf:   make([]float64, e.n),
+		checkbuf:  make([]float64, e.n),
+	}
 }
 
-// solveLP solves the search's problem, maintaining the goroutine-local
-// warm-start basis chain: every optimal LP exports its basis, and every
-// subsequent LP of this search starts from the most recent one. Bound
-// changes between solves are absorbed by dual-simplex repair in package lp.
+// solveLP solves the search's problem on the search-local workspace. The
+// workspace retains the last good basis internally, so every subsequent LP
+// of this search warm-starts from the most recent optimal one with no
+// export/import copies; bound changes between solves are absorbed by
+// dual-simplex repair in package lp. Until the workspace has a good basis of
+// its own, the seed basis (the root relaxation's, or a previous round's)
+// serves as the imported warm start.
 func (s *search) solveLP() lp.Solution {
 	o := s.e.lpOpt
-	o.Start = s.warmBasis
+	o.Start = s.seedBasis
+	o.ReuseBasis = true
 	if noWarm || s.forceCold || s.e.opt.NoWarmStart {
 		o.Start = nil
+		o.ReuseBasis = false
 	}
-	sol := s.prob.Solve(s.e.ctx, o)
+	if s.exportNext {
+		o.ExportBasis = true
+		s.exportNext = false
+	}
+	sol := s.prob.SolveWith(s.e.ctx, o, s.ws)
 	s.e.lpSolves.Add(1)
 	s.e.lpIters.Add(int64(sol.Iterations))
 	s.e.lpDualIters.Add(int64(sol.DualIters))
 	if sol.Status == lp.IterLimit {
 		s.e.lpLimited.Add(1)
 	}
-	if sol.Basis != nil {
-		s.warmBasis = sol.Basis
-	}
 	return sol
+}
+
+// solveRootLP is solveLP with a basis export: the root relaxation's basis
+// seeds the parallel workers and the next round's cross-round warm start.
+func (s *search) solveRootLP() lp.Solution {
+	s.exportNext = true
+	return s.solveLP()
 }
 
 // newIntAct computes the integer-variable activity of every row at xi.
@@ -415,7 +449,8 @@ func (s *search) completeLP(xi []float64) bool {
 // regardless of problem size.
 func (s *search) roundRepairComplete(seed []float64) bool {
 	m, n := s.m, s.e.n
-	xi := append([]float64(nil), seed...)
+	xi := s.xibuf
+	copy(xi, seed)
 	for v := range m.penalty {
 		xi[v] = 0 // expose soft violations to the repair pass
 	}
@@ -521,7 +556,8 @@ func (s *search) roundRepairComplete(seed []float64) bool {
 // incumbent on success and restores all bounds before returning.
 func (s *search) dive(seed []float64, bias float64) {
 	m, e, n := s.m, s.e, s.e.n
-	x := append([]float64(nil), seed...)
+	x := s.divebuf
+	copy(x, seed)
 	// Temporary bound changes to undo afterwards.
 	type saved struct {
 		v      int
@@ -590,7 +626,8 @@ func (s *search) dive(seed []float64, bias float64) {
 			}
 		} else {
 			sort.Slice(fracs, func(a, b int) bool { return fracs[a].d > fracs[b].d })
-			xcheck = append([]float64(nil), x...)
+			xcheck = s.checkbuf
+			copy(xcheck, x)
 			batch := len(fracs)/8 + 1
 			fixedAny := false
 			for _, f := range fracs[:batch] {
@@ -726,10 +763,14 @@ func (s *search) rootHeuristics(rootSol lp.Solution) {
 func (m *Model) solveSerial(e *engine) Result {
 	opt := e.opt
 	res := Result{Status: NoSolution, Objective: math.Inf(1), Bound: math.Inf(-1)}
-	s := newSearch(e, &m.prob, nil)
+	s := newSearch(e, &m.prob, opt.RootBasis)
 
-	// Root relaxation.
-	rootSol := s.solveLP()
+	// Root relaxation, warm-started from a previous round's basis when the
+	// caller supplied one (a mismatched shape falls back to a cold start
+	// inside package lp).
+	rootSol := s.solveRootLP()
+	res.RootBasis = rootSol.Basis
+	res.RootLPIters = rootSol.Iterations
 	if e.handleRootStatus(&res, rootSol) {
 		return res
 	}

@@ -37,6 +37,8 @@ import (
 	"ras/internal/broker"
 	"ras/internal/clock"
 	"ras/internal/hardware"
+	"ras/internal/lp"
+	"ras/internal/metrics"
 	"ras/internal/mip"
 	"ras/internal/reservation"
 	"ras/internal/topology"
@@ -175,6 +177,33 @@ func (c Config) withDefaults(region *topology.Region) Config {
 	return c
 }
 
+// PhaseWarm is one phase's persisted cross-round warm-start state: the root
+// relaxation basis exported at the end of round k together with the model
+// shape it belongs to. Consecutive RAS rounds solve near-identical MIPs, so
+// when the next round builds a model of the same shape the basis seeds its
+// root LP (mip.Options.RootBasis); any shape drift — reservations added or
+// removed, servers failing out of symmetry groups — falls back to a cold
+// solve.
+type PhaseWarm struct {
+	Basis *lp.Basis
+	// Vars and Rows record the model shape the basis was exported from.
+	Vars, Rows int
+}
+
+// matches reports whether the warm state carries a basis usable for a model
+// of the given shape.
+func (w *PhaseWarm) matches(vars, rows int) bool {
+	return w != nil && w.Basis != nil && w.Vars == vars && w.Rows == rows
+}
+
+// WarmState is the cross-round warm-start state of the two-phase solver.
+// Feed a round's Result.Warm to the next round's SolveWarm; a nil WarmState
+// (or a stale shape) solves cold. The zero value is ready to use.
+type WarmState struct {
+	Phase1 PhaseWarm
+	Phase2 PhaseWarm
+}
+
 // Input is one solve's snapshot of the world (Figure 6 step 2).
 type Input struct {
 	Region *topology.Region
@@ -218,6 +247,12 @@ type PhaseStats struct {
 	LPSolves      int
 	LPIters       int
 	LPLimited     int
+	// RootLPIters counts the simplex iterations of the phase's root
+	// relaxation alone, and WarmRoot reports whether that root LP was seeded
+	// from a previous round's basis — together they quantify what the
+	// cross-round warm start saved.
+	RootLPIters int
+	WarmRoot    bool
 	// Workers is the resolved branch-and-bound worker count the phase ran
 	// with; IncumbentUpdates and HeuristicWins break down where its
 	// incumbents came from (see mip.Result).
@@ -255,6 +290,10 @@ type Result struct {
 	// (falling back to the current assignment for phases that never produced
 	// one), and the phase stats record how far the search got.
 	Cancelled bool
+	// Warm is the cross-round warm-start state to feed the next round's
+	// SolveWarm (always non-nil; phases that exported no basis leave their
+	// PhaseWarm basis nil, which the next round treats as a cold start).
+	Warm *WarmState
 }
 
 // TotalTime reports the full allocation time across phases.
@@ -303,6 +342,17 @@ func wearBucket(w float64) int {
 // round is not an error — the Result carries the best incumbent targets
 // with Cancelled set.
 func Solve(ctx context.Context, in Input, cfg Config) (*Result, error) {
+	return SolveWarm(ctx, in, cfg, nil)
+}
+
+// SolveWarm is Solve with cross-round warm-start state: warm carries the
+// previous round's final bases (pass Result.Warm from round k to round k+1;
+// nil solves cold). Each phase seeds its root relaxation from the matching
+// basis when the newly built model has the exact shape the basis was
+// exported from, and silently falls back to a cold solve otherwise — so the
+// continuous-optimization loop amortizes simplex work across rounds without
+// changing what a round is allowed to return.
+func SolveWarm(ctx context.Context, in Input, cfg Config, warm *WarmState) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background() //raslint:allow ctxflow nil ctx defaults to Background at the public API boundary
 	}
@@ -320,12 +370,18 @@ func Solve(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	}
 
 	specs := buildSpecs(in, cfg)
+	res.Warm = &WarmState{}
+	var w1, w2 *PhaseWarm
+	if warm != nil {
+		w1, w2 = &warm.Phase1, &warm.Phase2
+	}
 
 	// ---- Phase 1: whole region, MSB granularity (or rack granularity
 	// when the single-phase ablation is on). ------------------------------
 	pool := usableServers(in)
-	p1 := solvePhase(ctx, in, cfg, specs, pool, res.Targets, cfg.RackGoalsInPhase1, cfg.Phase1TimeLimit)
+	p1 := solvePhase(ctx, in, cfg, specs, pool, res.Targets, cfg.RackGoalsInPhase1, cfg.Phase1TimeLimit, w1)
 	res.Phase1 = p1.stats
+	res.Warm.Phase1 = p1.warm
 	realize(in, specs, p1, res.Targets)
 
 	// ---- Phase 2: rack goals for the worst reservations. ----------------
@@ -348,8 +404,9 @@ func Solve(ctx context.Context, in Input, cfg Config) (*Result, error) {
 					pool2 = append(pool2, id)
 				}
 			}
-			p2 := solvePhase(ctx, in, cfg, specs2, pool2, res.Targets, true, cfg.Phase2TimeLimit)
+			p2 := solvePhase(ctx, in, cfg, specs2, pool2, res.Targets, true, cfg.Phase2TimeLimit, w2)
 			res.Phase2 = p2.stats
+			res.Warm.Phase2 = p2.warm
 			res.RanPhase2 = true
 			for id := range subset {
 				res.Phase2Reservations = append(res.Phase2Reservations, id)
@@ -508,6 +565,8 @@ type phaseOutput struct {
 	// counts[g][si] is the solved server count of group g for spec si
 	// (indices into groups/specs).
 	counts [][]float64
+	// warm is the phase's exported cross-round warm-start state.
+	warm PhaseWarm
 }
 
 // solvePhase builds and solves one phase's MIP over the given server pool.
@@ -518,7 +577,7 @@ type phaseOutput struct {
 // the earlier of now+limit and the parent's own deadline, and parent
 // cancellation aborts the search immediately.
 func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool []topology.ServerID,
-	targets []reservation.ID, rackLevel bool, limit time.Duration) *phaseOutput {
+	targets []reservation.ID, rackLevel bool, limit time.Duration, pw *PhaseWarm) *phaseOutput {
 
 	phaseCtx, cancel := context.WithTimeout(ctx, limit)
 	defer cancel()
@@ -824,6 +883,19 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 		return out
 	}
 	t0 = clock.Now()
+	// Cross-round warm start: a basis exported by the previous round seeds
+	// this round's root relaxation, but only when the freshly built model has
+	// the exact shape the basis belongs to; any drift falls back to cold.
+	var rootBasis *lp.Basis
+	if pw != nil && pw.Basis != nil {
+		if pw.matches(m.NumVars(), m.NumConstrs()) {
+			rootBasis = pw.Basis
+			out.stats.WarmRoot = true
+			metrics.Solver.RoundWarmHits.Add(1)
+		} else {
+			metrics.Solver.RoundWarmMisses.Add(1)
+		}
+	}
 	// Gap tolerances: proving optimality below the cost of a single idle
 	// move is pointless churn, so stop there (the paper likewise accepts
 	// early timeouts and measures the remaining gap, Figure 9).
@@ -833,6 +905,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 		RelGap:      0.02,
 		NoWarmStart: cfg.DisableWarmStart,
 		Workers:     cfg.Workers,
+		RootBasis:   rootBasis,
 	})
 	out.stats.MIP = clock.Since(t0)
 	out.stats.Status = r.Status
@@ -840,6 +913,8 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 	out.stats.LPSolves = r.LPSolves
 	out.stats.LPIters = r.LPIters
 	out.stats.LPLimited = r.LPLimited
+	out.stats.RootLPIters = r.RootLPIters
+	out.warm = PhaseWarm{Basis: r.RootBasis, Vars: m.NumVars(), Rows: m.NumConstrs()}
 	out.stats.Workers = r.Workers
 	out.stats.IncumbentUpdates = r.IncumbentUpdates
 	out.stats.HeuristicWins = r.HeuristicWins

@@ -149,6 +149,13 @@ type System struct {
 
 	opts      Options
 	lastSolve *SolveResult
+	// warm is the cross-round warm-start state the last solve exported
+	// (backend.Result.Warm): the MIP root bases and/or the local-search
+	// assignment. Each SolveWith passes it back in so consecutive rounds
+	// amortize solver work the way the paper's continuous loop does; a
+	// problem whose shape drifted falls back to a cold solve inside the
+	// backend, so the round's outcome is never at risk.
+	warm *backend.WarmState
 }
 
 // NewSystem wires a System over the region.
@@ -264,7 +271,7 @@ func (s *System) SolveWith(ctx context.Context, now Clock, backendName string) (
 		Reservations: s.store.All(),
 		States:       s.broker.Snapshot(),
 	}
-	res, err := be.Solve(ctx, in, backend.Options{Workers: s.opts.Workers})
+	res, err := be.Solve(ctx, in, backend.Options{Workers: s.opts.Workers, Warm: s.warm})
 	if err != nil {
 		return nil, err
 	}
@@ -274,6 +281,7 @@ func (s *System) SolveWith(ctx context.Context, now Clock, backendName string) (
 		s.applyTargets(res.Targets, now)
 	}
 	s.lastSolve = res
+	s.warm = res.Warm
 	return res, nil
 }
 
