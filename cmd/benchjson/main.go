@@ -116,12 +116,12 @@ func printComparison(w *os.File, path string, cur Baseline) error {
 	}
 
 	fmt.Fprintf(w, "baseline: %s (%s)\n", path, base.CPU)
-	fmt.Fprintf(w, "%-46s %-12s %14s %14s %9s\n", "benchmark", "metric", "baseline", "current", "delta")
+	fmt.Fprintf(w, "%-50s %-12s %14s %14s %9s\n", "benchmark", "metric", "baseline", "current", "delta")
 	matched := make(map[string]bool, len(cur.Benchmarks))
 	for _, c := range cur.Benchmarks {
 		b, ok := baseBy[c.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-46s (not in baseline)\n", c.Name)
+			fmt.Fprintf(w, "%-50s (not in baseline)\n", c.Name)
 			continue
 		}
 		matched[b.Name] = true
@@ -138,12 +138,12 @@ func printComparison(w *os.File, path string, cur Baseline) error {
 			if bv != 0 {
 				delta = fmt.Sprintf("%+.1f%%", (cv-bv)/math.Abs(bv)*100)
 			}
-			fmt.Fprintf(w, "%-46s %-12s %14.5g %14.5g %9s\n", c.Name, u, bv, cv, delta)
+			fmt.Fprintf(w, "%-50s %-12s %14.5g %14.5g %9s\n", c.Name, u, bv, cv, delta)
 		}
 	}
 	for _, b := range base.Benchmarks {
 		if !matched[b.Name] {
-			fmt.Fprintf(w, "%-46s (baseline only: not run)\n", b.Name)
+			fmt.Fprintf(w, "%-50s (baseline only: not run)\n", b.Name)
 		}
 	}
 	return nil

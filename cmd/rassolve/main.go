@@ -272,6 +272,9 @@ func printCounters(w io.Writer) {
 		l.Solves.Value(), l.Iterations.Value(), l.DualIterations.Value(),
 		l.Refactorizations.Value(), l.WorkspaceReuses.Value(),
 		l.WarmHits.Value(), l.WarmMisses.Value())
+	fmt.Fprintf(w, "lp-factor: update_etas=%d fill_ins=%d singular_repairs=%d factor_nnz=%d factor_rows=%d\n",
+		l.UpdateEtas.Value(), l.FactorFillIns.Value(), l.SingularRepairs.Value(),
+		l.FactorNnz.Value(), l.FactorRows.Value())
 }
 
 func toStats(p solver.PhaseStats) statsOut {

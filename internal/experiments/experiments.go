@@ -73,15 +73,29 @@ func reservationCount(s Scale) int {
 	}
 }
 
-// solverConfig returns solve limits appropriate to a scale.
+// solverConfig returns solve limits appropriate to a scale. The node budgets
+// are sized against per-node LP cost: with the sparse factorization kernel a
+// node is cheap enough that a several-fold larger budget still solves well
+// under the old wall-clock, and the extra depth lets the weekly churn trace
+// find preemption-free optima every hour instead of stranding bad incumbents
+// at the node limit. The stall rule bounds the other tail — a solve that has
+// its answer but cannot prove it against a flat bound stops after 128
+// stagnant nodes instead of grinding out the rest of the budget.
 func solverConfig(s Scale) solver.Config {
+	stall := func(c solver.Config) solver.Config {
+		c.StallNodes = 128
+		// Below one in-use preemption (MoveCostInUse = 10): a stalled stop
+		// may strand idle-move-scale slack but never an unredeemed preemption.
+		c.StallGap = 5
+		return c
+	}
 	switch s {
 	case ScaleSmall:
-		return solver.Config{Phase1TimeLimit: 8 * time.Second, Phase2TimeLimit: 2 * time.Second, MaxNodes: 150}
+		return stall(solver.Config{Phase1TimeLimit: 8 * time.Second, Phase2TimeLimit: 2 * time.Second, MaxNodes: 600})
 	case ScaleLarge:
-		return solver.Config{Phase1TimeLimit: 60 * time.Second, Phase2TimeLimit: 15 * time.Second, MaxNodes: 200}
+		return stall(solver.Config{Phase1TimeLimit: 60 * time.Second, Phase2TimeLimit: 15 * time.Second, MaxNodes: 400})
 	default:
-		return solver.Config{Phase1TimeLimit: 25 * time.Second, Phase2TimeLimit: 5 * time.Second, MaxNodes: 250}
+		return stall(solver.Config{Phase1TimeLimit: 25 * time.Second, Phase2TimeLimit: 5 * time.Second, MaxNodes: 500})
 	}
 }
 
@@ -308,13 +322,18 @@ func applySolve(region *topology.Region, b *broker.Broker, rsvs []reservation.Re
 
 // solveBackend resolves a backend by name and runs one solve — the single
 // entry point every experiment uses, so figure code never hard-wires a
-// solver package.
+// solver package. Experiments pin Workers to 1: the reproductions are keyed
+// to the deterministic serial search (see DESIGN.md "Parallel solving" —
+// with Workers > 1 the trajectory is scheduler-dependent, and figures like
+// the weekly churn trace fork chaotically on which equally-optimal incumbent
+// a race happens to keep), so the suite must not inherit the backend's
+// NumCPU default.
 func solveBackend(ctx context.Context, name string, in solver.Input, cfg solver.Config) (*backend.Result, error) {
 	be, err := backend.New(name, backend.Config{Solver: cfg})
 	if err != nil {
 		return nil, err
 	}
-	return be.Solve(ctx, in, backend.Options{})
+	return be.Solve(ctx, in, backend.Options{Workers: 1})
 }
 
 // assignOf snapshots current reservation bindings as a slice.

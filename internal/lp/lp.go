@@ -10,13 +10,18 @@
 // Inequality rows are converted to equalities internally by adding slack
 // variables. Feasibility is established with a phase-1 solve over artificial
 // variables, after which the true objective is minimized in phase 2. The
-// basis inverse is maintained densely and periodically recomputed from
-// scratch to bound numerical drift, which keeps the implementation simple
-// and robust at the problem sizes RAS produces after symmetry reduction
-// (hundreds to a few thousand rows).
+// basis is held as a sparse LU factorization with Markowitz ordering plus a
+// product-form eta file: pivots append eta updates, and the factors are
+// rebuilt from scratch on a deterministic cadence (eta count or fill growth,
+// never wall-clock) to bound numerical drift and eta-file bloat. FTRAN and
+// BTRAN solves run over the stored sparse columns and factors only, so both
+// the per-iteration cost and the retained memory scale with the problem's
+// nonzeros rather than with m² — the property that makes the
+// transportation-like LPs RAS produces after symmetry reduction (hundreds to
+// a few thousand rows, a handful of nonzeros per column) cheap to re-solve.
 //
-// All solver state — sparse columns, the slack/artificial layout, the dense
-// basis inverse, and every pricing and ratio-test scratch vector — lives in
+// All solver state — sparse columns, the slack/artificial layout, the basis
+// factorization, and every pricing and ratio-test scratch vector — lives in
 // a reusable Workspace so that repeated solves of the same Problem shape
 // (the branch-and-bound node-LP loop, the round-after-round re-solves of the
 // RAS async solver) run allocation-free in steady state. Problem.Solve keeps
@@ -196,6 +201,7 @@ const (
 	Unbounded                // the objective decreases without bound
 	IterLimit                // the iteration limit was hit before convergence
 	Cancelled                // the context was cancelled mid-solve
+	Singular                 // the basis became numerically singular and repair failed
 )
 
 func (s Status) String() string {
@@ -210,6 +216,8 @@ func (s Status) String() string {
 		return "iteration-limit"
 	case Cancelled:
 		return "cancelled"
+	case Singular:
+		return "singular-basis"
 	}
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
@@ -232,15 +240,16 @@ type Solution struct {
 	Basis *Basis
 }
 
-// Basis is an opaque simplex basis snapshot for warm starts. It carries the
-// dense basis inverse so a warm import costs O(m²) instead of an O(m³)
-// refactorization; the inverse is refreshed whenever accumulated pivots
-// would risk numerical drift.
+// Basis is an opaque simplex basis snapshot for warm starts. It carries only
+// the basis index set — which column is basic in each row, and which
+// nonbasic variables sit at their upper bound — so a snapshot is O(m + n) of
+// memory and cheap to persist across rounds. A warm import re-factorizes the
+// basis sparsely (O(nnz + fill), not O(m³)), which for the transportation-
+// structured bases RAS produces is a small fraction of even one pricing
+// pass.
 type Basis struct {
-	cols   []int
-	atUp   []bool
-	binv   []float64
-	pivots int
+	cols []int
+	atUp []bool
 }
 
 // Options tunes the solver.
@@ -266,7 +275,7 @@ type Options struct {
 	// and then to a cold start when the workspace holds no usable state.
 	ReuseBasis bool
 	// ExportBasis requests a Basis snapshot on the returned Solution (an
-	// O(m²) copy of the basis inverse). Problem.Solve sets it for
+	// O(m + n) copy of the basis index set). Problem.Solve sets it for
 	// compatibility; workspace-reusing callers leave it off except when
 	// they actually persist the basis (root LPs, cross-round warm starts).
 	ExportBasis bool
@@ -276,6 +285,12 @@ type Options struct {
 	// branch-and-bound never escalate; negative engages Devex from the
 	// first iteration (testing and very large cold solves).
 	DevexAfter int
+	// RefactorEvery sets how many eta updates accumulate before the basis
+	// factorization is rebuilt from scratch. Rebuilds can also trigger
+	// earlier when eta-file fill outgrows the factors; both triggers are
+	// deterministic counts, never wall-clock. Zero means the default (32);
+	// negative refactorizes after every pivot (testing).
+	RefactorEvery int
 }
 
 // devexAfter resolves the staged-pricing escalation point.
@@ -287,6 +302,18 @@ func (o *Options) devexAfter() int {
 		return defaultDevexAfter
 	default:
 		return o.DevexAfter
+	}
+}
+
+// refactorEvery resolves the eta-count refactorization cadence.
+func (o *Options) refactorEvery() int {
+	switch {
+	case o.RefactorEvery < 0:
+		return 1
+	case o.RefactorEvery == 0:
+		return defaultRefactorEvery
+	default:
+		return o.RefactorEvery
 	}
 }
 

@@ -6,11 +6,6 @@ import (
 	"ras/internal/metrics"
 )
 
-// reinvertEvery bounds the number of Gauss-Jordan rank-one updates applied
-// to the dense basis inverse before it is recomputed from scratch, limiting
-// accumulated floating-point drift.
-const reinvertEvery = 300
-
 // priceBlock is the partial-pricing block width used by the Devex stage:
 // candidate entering columns are priced one block at a time, rotating
 // deterministically through the blocks, and the scan stops at the first
@@ -60,6 +55,7 @@ func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
 	w := s.w
 
 	devexAfter := s.opt.devexAfter()
+	refactorEvery := s.opt.refactorEvery()
 	gamma := s.gamma
 	useDevex := false
 
@@ -80,18 +76,11 @@ func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
 		s.iters++
 		callIters++
 
-		// y = c_B^T · B^-1
-		clear(y)
+		// y = c_B^T · B^-1 via BTRAN of the basic cost vector.
 		for i := 0; i < m; i++ {
-			cb := cost[s.basis[i]]
-			if exactZero(cb) {
-				continue
-			}
-			row := s.binv[i*m : (i+1)*m]
-			for k := 0; k < m; k++ {
-				y[k] += cb * row[k]
-			}
+			s.cb[i] = cost[s.basis[i]]
 		}
+		s.fact.btran(y, s.cb)
 
 		if !useDevex && callIters > devexAfter {
 			// Escalate to Devex: reset the reference framework to the
@@ -163,22 +152,17 @@ func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
 			sigma = -1.0
 		}
 
-		// w = B^-1 · a_enter
-		clear(w)
-		for _, nz := range s.cols[enter] {
-			col := nz.Index
-			v := nz.Value
-			for i := 0; i < m; i++ {
-				w[i] += s.binv[i*m+col] * v
-			}
-		}
+		// w = B^-1 · a_enter (FTRAN), tracking the nonzero slots so the
+		// ratio test and step application touch only them.
+		s.wnz = s.fact.ftran(w, s.cols[enter], s.wnz)
 
-		// Ratio test: basic variable i changes by -sigma·t·w[i].
+		// Ratio test over the pivot column's nonzeros: basic variable i
+		// changes by -sigma·t·w[i].
 		tMax := s.up[enter] - s.lo[enter] // bound-flip distance (may be +Inf)
 		leave := -1
 		leaveToUpper := false
 		piv := s.opt.Tol * 10
-		for i := 0; i < m; i++ {
+		for _, i := range s.wnz {
 			step := -sigma * w[i]
 			if step > piv { // basic value increases toward its upper bound
 				bi := s.basis[i]
@@ -211,7 +195,7 @@ func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
 		}
 
 		// Apply the step.
-		for i := 0; i < m; i++ {
+		for _, i := range s.wnz {
 			bi := s.basis[i]
 			s.x[bi] -= sigma * tMax * w[i]
 		}
@@ -224,11 +208,13 @@ func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
 			continue
 		}
 
-		// Devex weight update, using the pivot row of the CURRENT inverse
-		// (read before updateInverse overwrites it): for each nonbasic j,
+		// Devex weight update, using the pivot row of the CURRENT basis
+		// inverse (a BTRAN of the leaving slot's unit vector, taken before
+		// the factorization absorbs the pivot): for each nonbasic j,
 		// γ_j ← max(γ_j, (α_j/α_q)²·γ_q) where α = pivot-row entries.
 		// Weights are only maintained while the Devex stage is active.
 		if useDevex && !useBland {
+			s.fact.btranRow(s.brow, leave, s.cb)
 			s.devexUpdate(gamma, priceLimit, enter, leave, w[leave])
 		}
 
@@ -244,12 +230,50 @@ func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
 		}
 		s.basis[leave] = enter
 		s.inRow[enter] = leave
-		s.updateInverse(leave, w)
-		s.pivots++
-		if s.pivots >= reinvertEvery {
-			s.reinvert()
+		if !s.absorbPivot(leave, refactorEvery) {
+			return Singular
+		}
+		if s.repaired {
+			// A singular refactorization swapped artificials into the basis.
+			// The repaired point may violate bounds, which breaks the primal
+			// iteration's invariants — surface it instead of iterating on.
+			s.repaired = false
+			if !s.basicsWithinBounds() {
+				return Singular
+			}
 		}
 	}
+}
+
+// basicsWithinBounds reports whether every basic variable currently sits
+// within its bounds (to the phase feasibility tolerance) — the primal
+// simplex invariant a singular-basis repair may have broken.
+func (s *Workspace) basicsWithinBounds() bool {
+	tol := s.feasTol()
+	for i := 0; i < s.m; i++ {
+		bi := s.basis[i]
+		if s.x[bi] < s.lo[bi]-tol || s.x[bi] > s.up[bi]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// absorbPivot folds the pivot at slot `leave` (whose FTRAN image is in s.w /
+// s.wnz) into the factorization: a product-form eta in the common case, a
+// full refactorization when the pivot element is numerically hopeless or the
+// deterministic cadence (eta count or fill growth) is due. It reports false
+// when the basis could not be refactorized even after repair.
+func (s *Workspace) absorbPivot(leave, refactorEvery int) bool {
+	if math.Abs(s.w[leave]) < 1e-12 {
+		// Numerically hopeless pivot; rebuild the new basis from scratch.
+		return s.refactorize()
+	}
+	s.fact.update(leave, s.w, s.wnz)
+	if s.fact.needRefactor(refactorEvery) {
+		return s.refactorize()
+	}
+	return true
 }
 
 // priceOne computes the pricing violation of nonbasic column j against dual
@@ -271,22 +295,23 @@ func (s *Workspace) priceOne(cost, y []float64, j int) float64 {
 
 // devexUpdate propagates Devex reference weights across a pivot where
 // column enter replaces the basic variable of row leave, with pivot element
-// alphaQ = (B^-1 a_enter)[leave]. The pivot row of the pre-update inverse
-// supplies α_j = (B^-1)_leave · a_j for every nonbasic column.
+// alphaQ = (B^-1 a_enter)[leave]. The pivot row of the pre-update inverse —
+// already BTRAN'd into s.brow by the caller — supplies α_j = (B^-1)_leave ·
+// a_j for every nonbasic column via sparse dot products with the stored
+// columns.
 func (s *Workspace) devexUpdate(gamma []float64, priceLimit, enter, leave int, alphaQ float64) {
-	m := s.m
 	if math.Abs(alphaQ) < 1e-12 {
 		return
 	}
 	gq := gamma[enter]
-	binvRow := s.binv[leave*m : (leave+1)*m]
+	brow := s.brow
 	for j := 0; j < priceLimit; j++ {
 		if s.inRow[j] >= 0 || j == enter {
 			continue
 		}
 		alpha := 0.0
 		for _, nz := range s.cols[j] {
-			alpha += binvRow[nz.Index] * nz.Value
+			alpha += brow[nz.Index] * nz.Value
 		}
 		if exactZero(alpha) {
 			continue
@@ -316,6 +341,7 @@ func (s *Workspace) dualSimplex(cost []float64) Status {
 	m := s.m
 	y := s.y
 	w := s.w
+	refactorEvery := s.opt.refactorEvery()
 	ptol := s.opt.Tol * 1e3 // primal bound tolerance
 
 	for {
@@ -345,19 +371,14 @@ func (s *Workspace) dualSimplex(cost []float64) Status {
 		s.iters++
 		s.diters++
 
-		// y = c_B^T B^-1 for reduced costs.
-		clear(y)
+		// y = c_B^T B^-1 for reduced costs, and the pivot row of B^-1 for
+		// the dual ratio test — both BTRANs over the factorization.
 		for i := 0; i < m; i++ {
-			cb := cost[s.basis[i]]
-			if exactZero(cb) {
-				continue
-			}
-			row := s.binv[i*m : (i+1)*m]
-			for k := 0; k < m; k++ {
-				y[k] += cb * row[k]
-			}
+			s.cb[i] = cost[s.basis[i]]
 		}
-		binvRow := s.binv[leave*m : (leave+1)*m]
+		s.fact.btran(y, s.cb)
+		s.fact.btranRow(s.brow, leave, s.cb)
+		binvRow := s.brow
 		below := s.x[s.basis[leave]] < target // violated below: value must rise
 
 		// Entering column: dual ratio test.
@@ -400,16 +421,9 @@ func (s *Workspace) dualSimplex(cost []float64) Status {
 		}
 
 		// Pivot: move entering by Δq so the leaving variable hits target.
-		clear(w)
-		for _, nz := range s.cols[enter] {
-			col := nz.Index
-			v := nz.Value
-			for i := 0; i < m; i++ {
-				w[i] += s.binv[i*m+col] * v
-			}
-		}
+		s.wnz = s.fact.ftran(w, s.cols[enter], s.wnz)
 		dq := (s.x[s.basis[leave]] - target) / alphaQ
-		for i := 0; i < m; i++ {
+		for _, i := range s.wnz {
 			s.x[s.basis[i]] -= dq * w[i]
 		}
 		newVal := s.x[enter] + dq
@@ -421,101 +435,69 @@ func (s *Workspace) dualSimplex(cost []float64) Status {
 		s.basis[leave] = enter
 		s.inRow[enter] = leave
 		s.x[enter] = newVal
-		s.updateInverse(leave, w)
-		s.pivots++
-		if s.pivots >= reinvertEvery {
-			s.reinvert()
+		if !s.absorbPivot(leave, refactorEvery) {
+			return Singular
 		}
+		// A singular-basis repair here leaves bound-violating basics, which
+		// is the state dual simplex exists to fix — clear the flag and let
+		// the violation scan above pick them up.
+		s.repaired = false
 	}
 }
 
-// updateInverse applies a Gauss-Jordan elimination step so that binv remains
-// the inverse of the basis matrix after column r of the basis was replaced by
-// a column whose B^-1-transformed image is w.
-func (s *Workspace) updateInverse(r int, w []float64) {
-	m := s.m
-	pivot := w[r]
-	if math.Abs(pivot) < 1e-12 {
-		// Numerically hopeless pivot; rebuild from scratch.
-		s.reinvert()
-		return
+// refactorize rebuilds the sparse basis factorization from the current
+// basis columns and recomputes the basic variable values. A singular basis
+// — the case the dense-inverse predecessor silently papered over with stale
+// inverse columns — is repaired by swapping each linearly dependent basis
+// column for the artificial of an unpivoted row (always structurally
+// nonsingular) and re-factorizing; repairs are surfaced through
+// metrics.LP.SingularRepairs and, if repair cannot produce a factorizable
+// basis, a false return that callers turn into Status Singular.
+func (s *Workspace) refactorize() bool {
+	for attempt := 0; ; attempt++ {
+		deficient := s.fact.factorize(s.cols, s.basis)
+		if len(deficient) == 0 {
+			break
+		}
+		if attempt >= 3 {
+			return false
+		}
+		metrics.LP.SingularRepairs.Add(int64(len(deficient)))
+		s.repairBasis(deficient)
+		s.repaired = true
 	}
-	inv := 1.0 / pivot
-	rowR := s.binv[r*m : (r+1)*m]
-	for k := 0; k < m; k++ {
-		rowR[k] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == r {
-			continue
-		}
-		f := w[i]
-		if exactZero(f) {
-			continue
-		}
-		row := s.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			row[k] -= f * rowR[k]
-		}
-	}
-}
-
-// reinvert recomputes the dense basis inverse from scratch by Gauss-Jordan
-// elimination with partial pivoting, then recomputes basic variable values
-// from the nonbasic point. It bounds accumulated floating-point drift.
-func (s *Workspace) reinvert() {
-	metrics.LP.Refactorizations.Add(1)
-	m := s.m
-	// Build dense basis matrix in the workspace scratch.
-	bm := s.bm
-	clear(bm)
-	for i := 0; i < m; i++ {
-		for _, nz := range s.cols[s.basis[i]] {
-			bm[nz.Index*m+i] = nz.Value
-		}
-	}
-	inv := s.binv
-	clear(inv)
-	for i := 0; i < m; i++ {
-		inv[i*m+i] = 1
-	}
-	// Gauss-Jordan with partial pivoting on bm, mirroring into inv.
-	for col := 0; col < m; col++ {
-		p := col
-		maxAbs := math.Abs(bm[col*m+col])
-		for r := col + 1; r < m; r++ {
-			if a := math.Abs(bm[r*m+col]); a > maxAbs {
-				maxAbs, p = a, r
-			}
-		}
-		if maxAbs < 1e-12 {
-			continue // singular direction; leave as-is (degenerate basis)
-		}
-		if p != col {
-			swapRows(bm, m, p, col)
-			swapRows(inv, m, p, col)
-		}
-		d := 1.0 / bm[col*m+col]
-		for k := 0; k < m; k++ {
-			bm[col*m+k] *= d
-			inv[col*m+k] *= d
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := bm[r*m+col]
-			if exactZero(f) {
-				continue
-			}
-			for k := 0; k < m; k++ {
-				bm[r*m+k] -= f * bm[col*m+k]
-				inv[r*m+k] -= f * inv[col*m+k]
-			}
-		}
-	}
-	s.pivots = 0
 	s.recomputeBasics()
+	return true
+}
+
+// repairBasis replaces the basis columns in the deficient slots with the
+// artificial columns of the rows the factorization could not pivot, making
+// the old columns nonbasic at their lower bounds. The pairing is
+// deterministic: ascending slots to ascending rows. An artificial of an
+// unpivoted row can never itself be basic (a basic artificial is a unit
+// column that would have pivoted that row), so the swap is always sound.
+func (s *Workspace) repairBasis(deficient []int) {
+	rows := s.fact.unpivotedRows()
+	sortInts(deficient)
+	for k, slot := range deficient {
+		out := s.basis[slot]
+		s.inRow[out] = -1
+		s.atUp[out] = false
+		s.x[out] = s.lo[out]
+		a := s.artStart + rows[k]
+		s.basis[slot] = a
+		s.inRow[a] = slot
+	}
+}
+
+// sortInts sorts a small int slice in place (insertion sort: deficiency
+// lists are nearly always length 1, never large).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
 }
 
 // recomputeBasics sets x_B = B^-1 (b - N x_N) from the nonbasic point.
@@ -531,20 +513,8 @@ func (s *Workspace) recomputeBasics() {
 			resid[nz.Index] -= nz.Value * s.x[j]
 		}
 	}
+	s.fact.ftranDense(s.w, resid)
 	for i := 0; i < m; i++ {
-		v := 0.0
-		row := s.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			v += row[k] * resid[k]
-		}
-		s.x[s.basis[i]] = v
-	}
-}
-
-func swapRows(a []float64, m, i, j int) {
-	ri := a[i*m : (i+1)*m]
-	rj := a[j*m : (j+1)*m]
-	for k := 0; k < m; k++ {
-		ri[k], rj[k] = rj[k], ri[k]
+		s.x[s.basis[i]] = s.w[i]
 	}
 }

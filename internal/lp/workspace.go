@@ -10,11 +10,12 @@ import (
 // Workspace holds every piece of solver state that survives between solves:
 // the simplex structure derived from a Problem's rows (sparse columns, the
 // slack/artificial layout, the constant phase-1 cost vector), the basis
-// state of the previous solve (basis, statuses, the dense inverse), and all
-// pricing/ratio-test scratch vectors. Building the structure is O(nnz + m)
-// and the dense inverse is O(m²) of memory; re-entering a workspace for a
-// problem of the same shape reuses all of it, which makes steady-state
-// re-solves allocation-free apart from the Solution's X vector.
+// state of the previous solve (basis, statuses, the sparse factorization),
+// and all pricing/ratio-test scratch vectors. Building the structure is
+// O(nnz + m), and every retained buffer — including the factorization — is
+// O(nnz + m) of memory; re-entering a workspace for a problem of the same
+// shape reuses all of it, which makes steady-state re-solves
+// allocation-free apart from the Solution's X vector.
 //
 // A Workspace is owned by one goroutine at a time. It retargets itself
 // automatically when handed a different Problem or a Problem whose shape
@@ -47,31 +48,33 @@ type Workspace struct {
 	b    []float64 // row RHS (equalities)
 
 	// Working basis state, mutated freely during a solve.
-	basis  []int     // basis[i] = column basic in row i
-	inRow  []int     // inRow[j] = row where j is basic, or -1
-	atUp   []bool    // nonbasic at upper bound (else at lower)
-	x      []float64 // current value of every column
-	binv   []float64 // dense m×m basis inverse, row-major
-	pivots int       // pivots since last reinversion
+	basis    []int   // basis[i] = column basic in row i
+	inRow    []int   // inRow[j] = row where j is basic, or -1
+	atUp     []bool  // nonbasic at upper bound (else at lower)
+	x        []float64
+	fact     *factor // sparse basis factorization (LU + eta file)
+	repaired bool    // last refactorization swapped artificials into the basis
 
 	// Retained good basis: a snapshot of the most recent optimal,
 	// artificial-free basis, the warm-start seed for ReuseBasis solves. The
-	// advance rule is exactly the one the historical Basis export/import
-	// chain followed — non-optimal or artificial-containing terminal bases
-	// never advance it — so a ReuseBasis solve sequence pivots identically
-	// to the old chain while performing no allocations.
+	// snapshot is an index set only — basis columns and bound statuses — and
+	// is re-factorized on entry (O(nnz + fill), not O(m³)); when the live
+	// factorization still belongs to the snapshot basis even that is
+	// skipped. The advance rule is exactly the one the historical Basis
+	// export/import chain followed — non-optimal or artificial-containing
+	// terminal bases never advance it.
 	goodCols   []int
 	goodAtUp   []bool
-	goodBinv   []float64
-	goodPivots int
 	goodOK     bool // a good snapshot exists for the current shape
-	liveIsGood bool // working binv still equals goodBinv (skip the restore copy)
+	liveIsGood bool // live factorization still matches goodCols (skip refactorization)
 
 	// Scratch buffers.
 	y     []float64 // dual prices c_B^T B^-1
 	w     []float64 // pivot column B^-1 a_q
-	resid []float64 // residual / reinversion RHS scratch
-	bm    []float64 // reinversion: dense basis matrix scratch
+	wnz   []int     // nonzero slots of w, ascending
+	cb    []float64 // basic cost vector (BTRAN source) / unit-vector scratch
+	brow  []float64 // one row of B^-1 (Devex and dual ratio tests)
+	resid []float64 // residual / recompute RHS scratch
 
 	// Devex pricing state: reference weights (reset per optimize call) and
 	// the partial-pricing block rotor, which persists across solves so
@@ -103,8 +106,8 @@ func (s *Workspace) solve(ctx context.Context, p *Problem, opt Options) Solution
 	s.refresh(p)
 
 	// Warm-start preference order: the workspace's own retained good basis
-	// (no allocations, no binv copy in steady state), then an imported basis
-	// snapshot, then cold.
+	// (no allocations, and no refactorization when the live factorization is
+	// still the snapshot's), then an imported basis snapshot, then cold.
 	if opt.ReuseBasis && s.goodOK && reused {
 		if sol, ok := s.runReuse(); ok {
 			metrics.LP.WarmHits.Add(1)
@@ -151,7 +154,6 @@ func (s *Workspace) reshape(p *Problem) bool {
 	s.nStruct = nStruct
 	s.goodOK = false
 	s.liveIsGood = false
-	s.pivots = 0
 	s.rotor = 0
 
 	// Structural columns from the sparse rows.
@@ -205,15 +207,16 @@ func (s *Workspace) reshape(p *Problem) bool {
 	s.inRow = make([]int, n)
 	s.atUp = make([]bool, n)
 	s.x = make([]float64, n)
-	s.binv = make([]float64, m*m)
+	s.fact = newFactor(m)
 	s.goodCols = make([]int, m)
 	s.goodAtUp = make([]bool, n)
-	s.goodBinv = make([]float64, m*m)
 
 	s.y = make([]float64, m)
 	s.w = make([]float64, m)
+	s.wnz = make([]int, 0, m)
+	s.cb = make([]float64, m)
+	s.brow = make([]float64, m)
 	s.resid = make([]float64, m)
-	s.bm = make([]float64, m*m)
 	s.gamma = make([]float64, n)
 	return false
 }
@@ -294,12 +297,14 @@ func (s *Workspace) run() Solution {
 			}
 		}
 	}
-	s.reinvert()
+	if !s.refactorize() {
+		return Solution{Status: Singular, X: s.structX(), Iterations: s.iters}
+	}
 
 	// Phase 1: minimize the sum of active artificials.
 	if needPhase1 {
 		st := s.optimize(s.phase1, s.artStart)
-		if st == IterLimit || st == Cancelled {
+		if st == IterLimit || st == Cancelled || st == Singular {
 			return Solution{Status: st, X: s.structX(), Iterations: s.iters}
 		}
 		infeas := 0.0
@@ -346,6 +351,8 @@ func (s *Workspace) finish(st Status) Solution {
 // historical export/import chain advanced. Anything else leaves the previous
 // snapshot in place, so a later ReuseBasis solve warm-starts from the last
 // good basis rather than from an infeasible or truncated terminal state.
+// Only the basis index set and bound statuses are copied; the factorization
+// is rebuilt (or, when the live one is still current, reused) on re-entry.
 func (s *Workspace) saveGood(st Status) {
 	s.liveIsGood = false
 	if st != Optimal {
@@ -358,8 +365,6 @@ func (s *Workspace) saveGood(st Status) {
 	}
 	copy(s.goodCols, s.basis)
 	copy(s.goodAtUp, s.atUp)
-	copy(s.goodBinv, s.binv)
-	s.goodPivots = s.pivots
 	s.goodOK = true
 	s.liveIsGood = true
 }
@@ -373,21 +378,20 @@ func (s *Workspace) exportBasis() *Basis {
 		}
 	}
 	return &Basis{
-		cols:   append([]int(nil), s.basis...),
-		atUp:   append([]bool(nil), s.atUp[:s.n]...),
-		binv:   append([]float64(nil), s.binv...),
-		pivots: s.pivots,
+		cols: append([]int(nil), s.basis...),
+		atUp: append([]bool(nil), s.atUp[:s.n]...),
 	}
 }
 
 // runReuse attempts a warm solve from the workspace's retained good basis —
 // the allocation-free fast path for branch-and-bound node LPs, where
-// consecutive solves differ only in variable bounds. The install is
-// numerically identical to importing an exported Basis snapshot of the same
-// state; when the working inverse is still the snapshot (the previous solve
-// ended by saving it), even the binv restore copy is skipped. It reports
-// ok=false when numerical or dual-feasibility checks fail, in which case the
-// caller cold-starts.
+// consecutive solves differ only in variable bounds. The snapshot holds only
+// the basis index set, so entry re-factorizes it — except in the common
+// steady-state case where the previous solve ended by saving exactly the
+// basis the factorization already represents (bounds never enter B, so the
+// factors stay valid across the caller's bound changes). It reports ok=false
+// when numerical or dual-feasibility checks fail, in which case the caller
+// cold-starts.
 func (s *Workspace) runReuse() (Solution, bool) {
 	m := s.m
 	live := s.liveIsGood
@@ -417,24 +421,21 @@ func (s *Workspace) runReuse() (Solution, bool) {
 			s.x[j] = s.lo[j]
 		}
 	}
-	if s.goodPivots < reinvertEvery {
-		if !live {
-			copy(s.binv, s.goodBinv)
-		}
-		s.pivots = s.goodPivots
+	if live {
 		s.recomputeBasics()
-		if !s.residualOK() {
-			s.reinvert()
+		if !s.residualOK() && !s.refactorize() {
+			return Solution{}, false
 		}
-	} else {
-		s.reinvert()
+	} else if !s.refactorize() {
+		return Solution{}, false
 	}
 	return s.warmFinish()
 }
 
 // runWarm attempts a warm-started solve from a previously exported basis.
 // It reports ok=false when the basis is structurally unusable or numerical
-// checks fail, in which case the caller should cold-start.
+// checks fail, in which case the caller should cold-start. The snapshot
+// carries no factorization — the basis index set is re-factorized here.
 func (s *Workspace) runWarm(start *Basis) (Solution, bool) {
 	m, n := s.m, s.n
 	s.liveIsGood = false
@@ -474,19 +475,8 @@ func (s *Workspace) runWarm(start *Basis) (Solution, bool) {
 			s.x[j] = s.lo[j]
 		}
 	}
-	if len(start.binv) == m*m && start.pivots < reinvertEvery {
-		// Reuse the cached inverse (bounds do not enter B) and only
-		// recompute the basic values — then verify the result actually
-		// satisfies A·x = b. Long export/import chains accumulate drift;
-		// a violated residual means the cached inverse is stale.
-		copy(s.binv, start.binv)
-		s.pivots = start.pivots
-		s.recomputeBasics()
-		if !s.residualOK() {
-			s.reinvert()
-		}
-	} else {
-		s.reinvert()
+	if !s.refactorize() {
+		return Solution{}, false
 	}
 	return s.warmFinish()
 }
@@ -512,16 +502,17 @@ func (s *Workspace) warmFinish() (Solution, bool) {
 		// floating-point drift can silently break. Never report
 		// infeasibility from the warm path; make the caller verify cold.
 		return Solution{}, false
-	case IterLimit:
+	case IterLimit, Singular:
 		return Solution{}, false
 	case Cancelled:
 		return s.finish(Cancelled), true
 	}
 	// Primal feasible now; polish with primal iterations (usually zero).
 	st := s.optimize(s.cost, s.n)
-	if st == Unbounded {
+	if st == Unbounded || st == Singular {
 		// A warm start cannot soundly prove unboundedness after bound
-		// changes narrowed and re-widened variables; re-verify cold.
+		// changes narrowed and re-widened variables, and a basis that went
+		// singular mid-polish proves nothing; re-verify cold.
 		return Solution{}, false
 	}
 	if st == Optimal && !s.residualOK() {
@@ -531,7 +522,7 @@ func (s *Workspace) warmFinish() (Solution, bool) {
 }
 
 // residualOK verifies A·x = b within tolerance across every row — a cheap
-// O(nnz) guard against stale basis inverses on the warm path.
+// O(nnz) guard against stale factorizations on the warm path.
 func (s *Workspace) residualOK() bool {
 	resid := s.resid
 	copy(resid, s.b)
@@ -555,17 +546,10 @@ func (s *Workspace) residualOK() bool {
 func (s *Workspace) dualFeasible(cost []float64) bool {
 	m := s.m
 	y := s.y
-	clear(y)
 	for i := 0; i < m; i++ {
-		cb := cost[s.basis[i]]
-		if exactZero(cb) {
-			continue
-		}
-		row := s.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			y[k] += cb * row[k]
-		}
+		s.cb[i] = cost[s.basis[i]]
 	}
+	s.fact.btran(y, s.cb)
 	tol := math.Max(s.opt.Tol*1e3, 1e-6)
 	for j := 0; j < s.n; j++ {
 		if s.inRow[j] >= 0 || exactEqual(s.lo[j], s.up[j]) {

@@ -250,6 +250,19 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset zeroes the counter (tests, epoch rollovers).
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// Gauge is an atomically set/read level value — a most-recent measurement
+// rather than an accumulating count. The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reports the most recently set level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Reset zeroes the gauge (tests, epoch rollovers).
+func (g *Gauge) Reset() { g.v.Store(0) }
+
 // Solver aggregates process-wide counters from the branch-and-bound engine
 // (internal/mip): how many solves ran, at what parallelism, how much tree
 // they explored, and where incumbents came from. WorkersUsed accumulates
@@ -275,10 +288,19 @@ var Solver struct {
 // they fared, and how much structural work was amortized away. WarmHits
 // counts solves completed by a warm path (workspace basis reuse or basis
 // import); WarmMisses counts warm attempts that fell back to a cold start.
-// Refactorizations counts dense basis reinversions — the O(m³) events the
-// warm paths exist to avoid — and WorkspaceReuses counts solves that
-// re-entered an already-built workspace structure instead of rebuilding
+// Refactorizations counts sparse basis refactorizations (Markowitz LU
+// rebuilds of the eta-file factorization), and WorkspaceReuses counts solves
+// that re-entered an already-built workspace structure instead of rebuilding
 // sparse columns and the slack/artificial layout.
+//
+// The factorization kernel adds its own gauges and counters: UpdateEtas
+// counts product-form eta matrices appended by pivots between
+// refactorizations, FactorFillIns accumulates the fill-in nonzeros the
+// Markowitz elimination created, SingularRepairs counts basis repairs where
+// a linearly dependent basis column was swapped for its row's artificial,
+// and FactorNnz/FactorRows gauge the most recent factorization's stored
+// nonzeros and dimension — together they show how far the basis stays from
+// the transportation-like sparsity the kernel is built for.
 var LP struct {
 	Solves           Counter
 	Iterations       Counter
@@ -287,4 +309,9 @@ var LP struct {
 	WorkspaceReuses  Counter
 	WarmHits         Counter
 	WarmMisses       Counter
+	UpdateEtas       Counter
+	FactorFillIns    Counter
+	SingularRepairs  Counter
+	FactorNnz        Gauge
+	FactorRows       Gauge
 }

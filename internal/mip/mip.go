@@ -296,6 +296,17 @@ type Options struct {
 	AbsGap float64
 	// RelGap stops the search once the relative gap falls below it.
 	RelGap float64
+	// StallNodes stops the search once this many consecutive nodes pass
+	// with no incumbent improvement and no bound improvement while the
+	// absolute gap is at most StallGap — the long tail of a solve that has
+	// its answer but cannot prove it against a degenerate (flat) bound.
+	// The rule is keyed to the global node counter, never wall-clock, so
+	// serial solves stay deterministic. Zero disables the rule; it is also
+	// inert unless StallGap > 0.
+	StallNodes int
+	// StallGap is the absolute-gap ceiling below which the stall rule may
+	// fire. Zero disables the rule.
+	StallGap float64
 	// LPIterLimit bounds simplex iterations per node LP. Zero = lp default.
 	LPIterLimit int
 	// NoWarmStart disables LP warm starts between node/heuristic solves

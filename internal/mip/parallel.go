@@ -47,6 +47,14 @@ func (p *nodePool) pop(w int, e *engine) (node, bool) {
 			p.closed = true
 			p.cond.Broadcast()
 		}
+		if !p.closed && e.opt.StallNodes > 0 {
+			bb := p.bestBoundLocked(e)
+			e.noteBound(bb)
+			if e.stalled(bb) {
+				p.closed = true
+				p.cond.Broadcast()
+			}
+		}
 		if p.closed {
 			return node{}, false
 		}
@@ -91,6 +99,11 @@ func (p *nodePool) finish(w int, children []node) {
 func (p *nodePool) bestBound(e *engine) float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.bestBoundLocked(e)
+}
+
+// bestBoundLocked is bestBound for callers already holding p.mu.
+func (p *nodePool) bestBoundLocked(e *engine) float64 {
 	b := math.Inf(1)
 	for i := range p.open {
 		if p.open[i].bound < b {

@@ -59,6 +59,12 @@ type engine struct {
 	lpIters     atomic.Int64
 	lpDualIters atomic.Int64
 	lpLimited   atomic.Int64
+
+	// Stall-rule progress tracking: the node count at the last incumbent or
+	// bound improvement, and the best bound seen so far (as float bits, -Inf
+	// initially). Both are monotone, so stale reads only delay a stall stop.
+	lastGain  atomic.Int64
+	boundBits atomic.Uint64
 }
 
 func newEngine(ctx context.Context, m *Model, opt Options, start time.Time) *engine {
@@ -113,7 +119,41 @@ func newEngine(ctx context.Context, m *Model, opt Options, start time.Time) *eng
 		e.incumbent = append([]float64(nil), m.initial...)
 		e.incObj = m.objective(e.incumbent)
 	}
+	e.boundBits.Store(math.Float64bits(math.Inf(-1)))
 	return e
+}
+
+// noteBound records a global-bound observation for the stall rule: a strict
+// improvement resets the stagnation counter. Monotone max under CAS.
+func (e *engine) noteBound(bb float64) {
+	for {
+		old := e.boundBits.Load()
+		if bb <= math.Float64frombits(old)+1e-9 {
+			return
+		}
+		if e.boundBits.CompareAndSwap(old, math.Float64bits(bb)) {
+			e.lastGain.Store(e.nodes.Load())
+			return
+		}
+	}
+}
+
+// stalled reports whether the stall rule should stop the search: StallNodes
+// nodes have passed since the last incumbent or bound improvement while the
+// gap between them is already within StallGap. A search in this state is
+// burning its node budget proving an answer it almost certainly has — on the
+// massively degenerate RAS relaxations the bound can sit flat for hundreds
+// of nodes below a near-optimal incumbent.
+func (e *engine) stalled(bb float64) bool {
+	opt := e.opt
+	if opt.StallNodes <= 0 || opt.StallGap <= 0 {
+		return false
+	}
+	inc := e.bestObj()
+	if math.IsInf(inc, 1) || inc-bb > opt.StallGap {
+		return false
+	}
+	return e.nodes.Load()-e.lastGain.Load() >= int64(opt.StallNodes)
 }
 
 // restoreRootBounds resets the model's own problem to its root bounds so the
@@ -172,6 +212,7 @@ func (e *engine) offer(x []float64, obj float64, heuristic bool) bool {
 	if heuristic {
 		e.heurWins++
 	}
+	e.lastGain.Store(e.nodes.Load())
 	return true
 }
 
@@ -797,6 +838,11 @@ func (m *Model) solveSerial(e *engine) Result {
 
 	for len(open) > 0 {
 		if int(e.nodes.Load()) >= opt.MaxNodes || e.expired() {
+			break
+		}
+		bb := bestBound()
+		e.noteBound(bb)
+		if e.stalled(bb) {
 			break
 		}
 		// Node selection: mostly LIFO (dive), every 16th node best-bound.

@@ -88,6 +88,16 @@ type Config struct {
 	Phase2TimeLimit time.Duration
 	// MaxNodes bounds branch-and-bound nodes per phase. Zero = 400.
 	MaxNodes int
+	// StallNodes, when positive, stops a phase's search after that many
+	// consecutive nodes with no incumbent or bound improvement while the
+	// absolute gap is at most StallGap — cutting the long proving tail on
+	// degenerate instances where the bound sits flat under a near-optimal
+	// incumbent. Zero keeps the search running to MaxNodes. The stop is
+	// keyed to node counts, so Workers=1 solves stay deterministic.
+	StallNodes int
+	// StallGap is the absolute-gap ceiling for the stall rule, in objective
+	// units (one in-use preemption costs MoveCostInUse). Zero disables it.
+	StallGap float64
 	// Phase2MaxVars caps phase-2 assignment variables (production: 5M).
 	// Zero = 20000.
 	Phase2MaxVars int
@@ -898,11 +908,14 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 	}
 	// Gap tolerances: proving optimality below the cost of a single idle
 	// move is pointless churn, so stop there (the paper likewise accepts
-	// early timeouts and measures the remaining gap, Figure 9).
+	// early timeouts and measures the remaining gap, Figure 9). The stall
+	// rule passes through for callers with tight node budgets.
 	r := m.Solve(phaseCtx, mip.Options{
 		MaxNodes:    cfg.MaxNodes,
 		AbsGap:      0.9 * cfg.MoveCostIdle,
 		RelGap:      0.02,
+		StallNodes:  cfg.StallNodes,
+		StallGap:    cfg.StallGap,
 		NoWarmStart: cfg.DisableWarmStart,
 		Workers:     cfg.Workers,
 		RootBasis:   rootBasis,
