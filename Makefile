@@ -34,9 +34,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# End-to-end smoke run of the parallel solver on a synthetic region.
+# End-to-end smoke runs on a synthetic region: the parallel MIP, then the
+# partitioned backend (k sub-solves dividing the same worker budget).
 smoke:
 	$(GO) run ./cmd/rassolve -synthetic -workers 4 -time-limit 10s >/dev/null
+	$(GO) run ./cmd/rassolve -synthetic -backend pop -partitions 4 -workers 4 -time-limit 10s >/dev/null
 
 # Solver/backend benchmarks (ablations + backend comparison).
 bench:

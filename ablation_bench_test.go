@@ -192,16 +192,43 @@ func BenchmarkBackendLocalSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkBackendPOPLarge is the POP-paper-style k-sweep (k ∈ {1, 2, 4,
+// 8}) over the same 10× region and solver budget as BenchmarkBackendMIPLarge
+// at Workers=1: the wall-clock ratio against MIPLarge/workers=1 is the
+// partitioning speedup and the objective delta the allocation-quality price,
+// both derived into BENCH_solver.json's pop_ksweep section by cmd/benchjson.
+// Workers is pinned to 1 so the sweep isolates the sub-problem-size effect
+// (each sub-MIP is the exact serial solver) and stays bit-for-bit
+// deterministic; the partitioner may clamp k to the region's MSB geometry.
+func BenchmarkBackendPOPLarge(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("partitions=%d", k), func(b *testing.B) {
+			runBackendBenchOptsOn(b, largeWorkload, "pop", backend.Config{Solver: solver.Config{
+				Phase1TimeLimit: 60 * time.Second, Phase2TimeLimit: 10 * time.Second,
+				MaxNodes: 100, SharedBufferFraction: -1,
+			}}, backend.Options{Workers: 1, Partitions: k})
+		})
+	}
+}
+
 // runBackendBench solves the ablation workload through the unified Backend
 // interface, so both backend benches exercise the exact code path production
 // callers use and report the common backend-independent metrics.
 func runBackendBench(b *testing.B, name string, cfg backend.Config, workers int) {
 	b.Helper()
-	runBackendBenchOn(b, ablationWorkload, name, cfg, workers)
+	runBackendBenchOptsOn(b, ablationWorkload, name, cfg, backend.Options{Workers: workers})
 }
 
 // runBackendBenchOn is runBackendBench parameterized over the workload.
 func runBackendBenchOn(b *testing.B, workload func(*testing.B) (*topology.Region, []reservation.Reservation, []broker.ServerState), name string, cfg backend.Config, workers int) {
+	b.Helper()
+	runBackendBenchOptsOn(b, workload, name, cfg, backend.Options{Workers: workers})
+}
+
+// runBackendBenchOptsOn is the fully parameterized backend bench: any
+// workload, any backend, any per-solve Options (the pop k-sweep needs
+// Options.Partitions alongside Workers).
+func runBackendBenchOptsOn(b *testing.B, workload func(*testing.B) (*topology.Region, []reservation.Reservation, []broker.ServerState), name string, cfg backend.Config, opts backend.Options) {
 	b.Helper()
 	region, rsvs, states := workload(b)
 	be, err := backend.New(name, cfg)
@@ -212,8 +239,7 @@ func runBackendBenchOn(b *testing.B, workload func(*testing.B) (*topology.Region
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := be.Solve(context.Background(),
-			solver.Input{Region: region, Reservations: rsvs, States: states},
-			backend.Options{Workers: workers})
+			solver.Input{Region: region, Reservations: rsvs, States: states}, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,6 +249,10 @@ func runBackendBenchOn(b *testing.B, workload func(*testing.B) (*topology.Region
 		if i == 0 {
 			b.ReportMetric(res.Objective, "objective")
 			b.ReportMetric(float64(res.Moves.InUse+res.Moves.Unused), "moves")
+			if res.POP != nil {
+				b.ReportMetric(float64(res.POP.Partitions), "partitions")
+				b.ReportMetric(float64(res.POP.Repair.Moves()), "repairmoves")
+			}
 		}
 	}
 }

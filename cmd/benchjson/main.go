@@ -40,12 +40,26 @@ type Bench struct {
 
 // Baseline is the full converted report.
 type Baseline struct {
-	Goos          string   `json:"goos,omitempty"`
-	Goarch        string   `json:"goarch,omitempty"`
-	Pkg           string   `json:"pkg,omitempty"`
-	CPU           string   `json:"cpu,omitempty"`
-	Benchmarks    []Bench  `json:"benchmarks"`
-	BenchfmtLines []string `json:"benchfmt_lines"`
+	Goos          string     `json:"goos,omitempty"`
+	Goarch        string     `json:"goarch,omitempty"`
+	Pkg           string     `json:"pkg,omitempty"`
+	CPU           string     `json:"cpu,omitempty"`
+	Benchmarks    []Bench    `json:"benchmarks"`
+	POPKSweep     []POPSweep `json:"pop_ksweep,omitempty"`
+	BenchfmtLines []string   `json:"benchfmt_lines"`
+}
+
+// POPSweep is one row of the derived partitioned-backend ablation: the pop
+// backend at k partitions against the serial MIP baseline on the same large
+// workload (BenchmarkBackendMIPLarge/workers=1). Speedup is the MIP ns/op
+// over the pop ns/op; ObjectiveDeltaPct is the allocation-quality price of
+// partitioning ((pop−mip)/mip·100, positive = worse).
+type POPSweep struct {
+	Partitions        int     `json:"partitions"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	Speedup           float64 `json:"speedup_vs_mip"`
+	Objective         float64 `json:"objective"`
+	ObjectiveDeltaPct float64 `json:"objective_delta_pct"`
 }
 
 func main() {
@@ -90,6 +104,7 @@ func main() {
 		}
 		return
 	}
+	out.POPKSweep = derivePOPKSweep(out.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
@@ -147,6 +162,62 @@ func printComparison(w *os.File, path string, cur Baseline) error {
 		}
 	}
 	return nil
+}
+
+// derivePOPKSweep computes the pop-vs-mip ablation rows from the parsed
+// benchmarks: every BenchmarkBackendPOPLarge/partitions=K result paired with
+// the serial BenchmarkBackendMIPLarge/workers=1 baseline. Returns nil when
+// either side is absent (e.g. a bench run filtered to other benchmarks).
+func derivePOPKSweep(benches []Bench) []POPSweep {
+	var mip *Bench
+	for i := range benches {
+		if trimProcs(benches[i].Name) == "BenchmarkBackendMIPLarge/workers=1" {
+			mip = &benches[i]
+			break
+		}
+	}
+	if mip == nil {
+		return nil
+	}
+	var rows []POPSweep
+	for _, b := range benches {
+		name := trimProcs(b.Name)
+		const prefix = "BenchmarkBackendPOPLarge/partitions="
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		k, err := strconv.Atoi(name[len(prefix):])
+		if err != nil {
+			continue
+		}
+		row := POPSweep{
+			Partitions: k,
+			NsPerOp:    b.Metrics["ns/op"],
+			Objective:  b.Metrics["objective"],
+		}
+		if row.NsPerOp > 0 {
+			row.Speedup = mip.Metrics["ns/op"] / row.NsPerOp
+		}
+		if mo := mip.Metrics["objective"]; mo != 0 {
+			row.ObjectiveDeltaPct = (row.Objective - mo) / math.Abs(mo) * 100
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Partitions < rows[j].Partitions })
+	return rows
+}
+
+// trimProcs strips the "-N" GOMAXPROCS suffix go test appends to benchmark
+// names, so lookups are stable across machines.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parseBenchLine parses "BenchmarkName-8  N  v1 unit1  v2 unit2 ...".

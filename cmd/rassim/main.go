@@ -43,6 +43,8 @@ func main() {
 			"solve parallelism for the hourly rounds: branch-and-bound workers (mip) or climb starts (localsearch); 1 = serial")
 		beName = flag.String("backend", backend.DefaultName,
 			"solver backend for the hourly rounds ("+strings.Join(backend.Names(), ", ")+")")
+		partitions = flag.Int("partitions", 0,
+			"pop backend: sub-region count k (0 = default; other backends ignore it)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stdout, "", 0)
@@ -59,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := ras.NewSystem(region, ras.Options{Backend: *beName, Workers: *workers})
+	sys := ras.NewSystem(region, ras.Options{Backend: *beName, Workers: *workers, Partitions: *partitions})
 	logger.Printf("region: %d DCs, %d MSBs, %d racks, %d servers",
 		region.NumDCs, region.NumMSBs, region.NumRacks, len(region.Servers))
 

@@ -9,9 +9,10 @@
 //	rassolve -synthetic -dcs 2 -msbs 3 -reservations 4 > assignment.json
 //	rassolve -synthetic -backend localsearch > assignment.json
 //
-// The -backend flag selects any registered solver backend (mip,
-// localsearch). SIGINT/SIGTERM cancel the solve cooperatively: the tool
-// still writes the best incumbent assignment found before the signal.
+// The -backend flag selects any registered solver backend (mip, localsearch,
+// pop); -partitions sets the pop backend's sub-region count. SIGINT/SIGTERM
+// cancel the solve cooperatively: the tool still writes the best incumbent
+// assignment found before the signal.
 //
 // Input schema (JSON):
 //
@@ -114,6 +115,8 @@ func main() {
 			"solve parallelism: branch-and-bound workers (mip) or climb starts (localsearch); 1 = serial")
 		beName = flag.String("backend", backend.DefaultName,
 			"solver backend ("+strings.Join(backend.Names(), ", ")+")")
+		partitions = flag.Int("partitions", 0,
+			"pop backend: sub-region count k (0 = default; other backends ignore it)")
 		verbose    = flag.Bool("v", false, "print solver and LP counters to stderr after the solve")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -206,7 +209,7 @@ func main() {
 	b := broker.New(region)
 	res, err := be.Solve(ctx, solver.Input{
 		Region: region, Reservations: rsvs, States: b.Snapshot(),
-	}, backend.Options{TimeLimit: *timeLimit, Workers: *workers})
+	}, backend.Options{TimeLimit: *timeLimit, Workers: *workers, Partitions: *partitions})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -275,6 +278,9 @@ func printCounters(w io.Writer) {
 	fmt.Fprintf(w, "lp-factor: update_etas=%d fill_ins=%d singular_repairs=%d factor_nnz=%d factor_rows=%d\n",
 		l.UpdateEtas.Value(), l.FactorFillIns.Value(), l.SingularRepairs.Value(),
 		l.FactorNnz.Value(), l.FactorRows.Value())
+	fmt.Fprintf(w, "pop: partitions=%d partition_solves=%d repair_moves=%d partition_warm_hits=%d partition_warm_misses=%d\n",
+		s.Partitions.Value(), s.PartitionSolves.Value(), s.RepairMoves.Value(),
+		s.PartitionWarmHits.Value(), s.PartitionWarmMisses.Value())
 }
 
 func toStats(p solver.PhaseStats) statsOut {

@@ -42,10 +42,17 @@ type Options struct {
 	// the context.
 	TimeLimit time.Duration
 	// Workers caps one solve's parallelism: branch-and-bound workers for
-	// the MIP backend, independent climb starts for local search. Zero
-	// means runtime.NumCPU() — backends exploit the whole machine unless
-	// told otherwise; 1 forces the exact serial engines.
+	// the MIP backend, independent climb starts for local search, and the
+	// total budget the pop backend divides across its concurrent sub-solves
+	// (never multiplies — `-workers 4 -partitions 4` runs 4 serial
+	// sub-solves, not 16 threads). Zero means runtime.NumCPU() — backends
+	// exploit the whole machine unless told otherwise; 1 forces the exact
+	// serial engines.
 	Workers int
+	// Partitions is the pop backend's sub-region count k (clamped to the
+	// region's MSB count). Zero means DefaultPartitions. Other backends
+	// ignore it.
+	Partitions int
 	// Warm carries cross-round warm-start state: pass the previous round's
 	// Result.Warm so consecutive solves of the continuous-optimization loop
 	// amortize work (root-LP bases for the MIP backend, the last assignment
@@ -63,6 +70,8 @@ type WarmState struct {
 	MIP *solver.WarmState
 	// LocalSearch is the last local-search assignment.
 	LocalSearch *localsearch.WarmState
+	// POP is the partitioned backend's per-partition warm state.
+	POP *POPWarm
 }
 
 // workers resolves the Workers knob: zero → NumCPU, floor 1.
@@ -149,6 +158,8 @@ type Result struct {
 	MIP *solver.Result
 	// LocalSearch carries the search detail; set iff that backend ran.
 	LocalSearch *localsearch.Result
+	// POP carries the partitioned backend detail; set iff that backend ran.
+	POP *POPDetail
 
 	// Warm is the cross-round warm-start state to feed the next round's
 	// Options.Warm. It starts from the state passed in (so foreign backends'
@@ -223,6 +234,7 @@ func Names() []string {
 func init() {
 	Register("mip", func(cfg Config) Backend { return &mipBackend{cfg: cfg.Solver} })
 	Register("localsearch", func(cfg Config) Backend { return &localSearchBackend{cfg: cfg.LocalSearch} })
+	Register("pop", func(cfg Config) Backend { return &popBackend{cfg: cfg.Solver} })
 }
 
 // nextWarm derives the warm state a solve hands to the next round: a copy of

@@ -29,5 +29,6 @@ func All() []Entry {
 		{"fig15", Fig15},
 		{"fig16", Fig16},
 		{"buffers", BufferAccounting},
+		{"pop", POPSweep},
 	}
 }

@@ -38,6 +38,10 @@ var defaultSolveEntryPoints = []string{
 	"ras.System.SolveWith",
 	"ras/internal/backend.Backend.Solve",
 	"ras/internal/solver.Solve",
+	"ras/internal/solver.RepairTargets",
+	"ras/internal/solver.Evaluate",
+	"ras/internal/partition.Split",
+	"ras/internal/partition.SplitDemands",
 	"ras/internal/mip.Model.Solve",
 	"ras/internal/localsearch.Solve",
 	"ras/internal/lp.Problem.Solve",

@@ -179,6 +179,7 @@ var (
 		"ras/internal/localsearch",
 		"ras/internal/solver",
 		"ras/internal/backend",
+		"ras/internal/partition",
 	}
 	defaultFloatScope = []string{
 		"ras/internal/lp",

@@ -48,9 +48,9 @@ type Workspace struct {
 	b    []float64 // row RHS (equalities)
 
 	// Working basis state, mutated freely during a solve.
-	basis    []int   // basis[i] = column basic in row i
-	inRow    []int   // inRow[j] = row where j is basic, or -1
-	atUp     []bool  // nonbasic at upper bound (else at lower)
+	basis    []int  // basis[i] = column basic in row i
+	inRow    []int  // inRow[j] = row where j is basic, or -1
+	atUp     []bool // nonbasic at upper bound (else at lower)
 	x        []float64
 	fact     *factor // sparse basis factorization (LU + eta file)
 	repaired bool    // last refactorization swapped artificials into the basis

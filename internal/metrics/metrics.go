@@ -281,6 +281,21 @@ var Solver struct {
 	// to a cold start.
 	RoundWarmHits   Counter
 	RoundWarmMisses Counter
+	// POP partitioned solving (the "pop" backend). Partitions gauges the
+	// most recent solve's effective partition count k; PartitionSolves
+	// accumulates sub-MIP solves (k per pop round); RepairMoves accumulates
+	// the recombination pass's applied moves. PartitionWarmHits/Misses
+	// count per-partition cross-round warm-state reuse at the pop layer: a
+	// hit when the previous round's partition plan signature matched and
+	// that partition's warm state was handed to its sub-solve, a miss when
+	// the plan was re-drawn (or the round was cold) and the sub-solve
+	// started fresh. The deeper basis-shape matching inside each sub-solve
+	// still counts into RoundWarmHits/RoundWarmMisses.
+	Partitions          Gauge
+	PartitionSolves     Counter
+	RepairMoves         Counter
+	PartitionWarmHits   Counter
+	PartitionWarmMisses Counter
 }
 
 // LP aggregates process-wide counters from the simplex kernel (internal/lp):

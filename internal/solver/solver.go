@@ -223,6 +223,40 @@ type Input struct {
 	Reservations []reservation.Reservation
 	// States is the broker snapshot, indexed by ServerID.
 	States []broker.ServerState
+	// Subset, when non-nil, restricts the solve to the listed servers (a
+	// POP-style sub-region) without rebuilding Region or States: grouping,
+	// buffer sizing, and move accounting consider only subset members, and
+	// Targets outside the subset stay reservation.Unassigned. IDs must be
+	// ascending and duplicate-free. nil solves the whole region.
+	Subset []topology.ServerID
+}
+
+// subsetMask materializes Subset as a per-server bitmap (nil when the whole
+// region is in scope).
+func (in Input) subsetMask() []bool {
+	if in.Subset == nil {
+		return nil
+	}
+	mask := make([]bool, len(in.Region.Servers))
+	for _, id := range in.Subset {
+		mask[id] = true
+	}
+	return mask
+}
+
+// validateSubset checks Subset is ascending, duplicate-free, and in range.
+func (in Input) validateSubset() error {
+	prev := topology.ServerID(-1)
+	for _, id := range in.Subset {
+		if id < 0 || int(id) >= len(in.Region.Servers) {
+			return fmt.Errorf("solver: subset server %d out of range [0,%d)", id, len(in.Region.Servers))
+		}
+		if id <= prev {
+			return fmt.Errorf("solver: subset not ascending/duplicate-free at server %d", id)
+		}
+		prev = id
+	}
+	return nil
 }
 
 // PhaseStats instruments one solve phase, mirroring the paper's
@@ -372,6 +406,9 @@ func SolveWarm(ctx context.Context, in Input, cfg Config, warm *WarmState) (*Res
 	if len(in.States) != len(in.Region.Servers) {
 		return nil, fmt.Errorf("solver: %d states for %d servers", len(in.States), len(in.Region.Servers))
 	}
+	if err := in.validateSubset(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults(in.Region)
 
 	res := &Result{Targets: make([]reservation.ID, len(in.Region.Servers))}
@@ -434,28 +471,47 @@ func SolveWarm(ctx context.Context, in Input, cfg Config, warm *WarmState) (*Res
 	res.Cancelled = ctx.Err() == context.Canceled
 
 	// ---- Move accounting (expression 1 / Figure 16). --------------------
+	res.Moves = accountMoves(in, in.subsetMask(), res.Targets)
+	return res, nil
+}
+
+// accountMoves tallies the moves an assignment implies over the masked
+// servers (nil mask = whole region), fixing unusable servers' bindings in
+// place: a failed server leaving its reservation is a casualty, not a move
+// the mover executes, so it keeps its previous binding intent and returns
+// home on recovery.
+func accountMoves(in Input, mask []bool, targets []reservation.ID) MoveStats {
+	var moves MoveStats
 	for i := range in.States {
+		if mask != nil && !mask[i] {
+			continue
+		}
 		st := &in.States[i]
-		if st.Current == res.Targets[i] {
+		if st.Current == targets[i] {
 			continue
 		}
 		if st.Current == reservation.Unassigned {
 			continue // acquiring a free server is not a move
 		}
 		if unusable(st) {
-			// A failed server leaving its reservation is a casualty, not a
-			// move the mover executes; keep its previous binding intent so
-			// it returns home on recovery.
-			res.Targets[i] = st.Current
+			targets[i] = st.Current
 			continue
 		}
 		if st.Containers > 0 && st.LoanedTo == reservation.Unassigned {
-			res.Moves.InUse++
+			moves.InUse++
 		} else {
-			res.Moves.Unused++
+			moves.Unused++
 		}
 	}
-	return res, nil
+	return moves
+}
+
+// CountMoves recomputes the region-wide MoveStats for an externally
+// assembled assignment (the pop backend's merged-and-repaired targets),
+// applying the same unusable-server return-home rule as a direct solve —
+// targets is fixed up in place.
+func CountMoves(in Input, targets []reservation.ID) MoveStats {
+	return accountMoves(in, nil, targets)
 }
 
 // buildSpecs assembles the internal reservation list: user reservations
@@ -472,9 +528,13 @@ func buildSpecs(in Input, cfg Config) []resSpec {
 		// Size per-type buffers proportionally to the usable fleet mix,
 		// using largest-remainder rounding so the total stays at the
 		// configured fraction instead of inflating by one server per type.
+		mask := in.subsetMask()
 		counts := make([]int, in.Region.Catalog.Len())
 		usableTotal := 0
 		for i := range in.Region.Servers {
+			if mask != nil && !mask[i] {
+				continue
+			}
 			if unusable(&in.States[i]) {
 				continue
 			}
@@ -543,8 +603,12 @@ func unusable(st *broker.ServerState) bool {
 }
 
 func usableServers(in Input) []topology.ServerID {
+	mask := in.subsetMask()
 	var pool []topology.ServerID
 	for i := range in.States {
+		if mask != nil && !mask[i] {
+			continue
+		}
 		if !unusable(&in.States[i]) {
 			pool = append(pool, topology.ServerID(i))
 		}

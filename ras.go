@@ -129,6 +129,10 @@ type Options struct {
 	// workers or local-search starts). Zero means runtime.NumCPU(); 1
 	// forces the serial engines. See backend.Options.Workers.
 	Workers int
+	// Partitions is the pop backend's sub-region count k. Zero means the
+	// backend default; other backends ignore it. See
+	// backend.Options.Partitions.
+	Partitions int
 	// Greedy switches server assignment to the Twine-greedy baseline
 	// (paper §1.1) instead of the RAS solver. Used for baseline
 	// comparisons (Figures 12, 14, 15).
@@ -271,7 +275,9 @@ func (s *System) SolveWith(ctx context.Context, now Clock, backendName string) (
 		Reservations: s.store.All(),
 		States:       s.broker.Snapshot(),
 	}
-	res, err := be.Solve(ctx, in, backend.Options{Workers: s.opts.Workers, Warm: s.warm})
+	res, err := be.Solve(ctx, in, backend.Options{
+		Workers: s.opts.Workers, Partitions: s.opts.Partitions, Warm: s.warm,
+	})
 	if err != nil {
 		return nil, err
 	}
