@@ -16,8 +16,9 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis (cmd/raslint): determinism, mapiter,
-# ctxflow, floatcmp, errdrop, plus the flow-sensitive lockcheck, leakcheck,
-# and calldeterminism rules. Exceptions need //raslint:allow <rule> <reason>;
+# ctxflow, floatcmp, errdrop, the flow-sensitive lockcheck, leakcheck, and
+# calldeterminism rules, and the summary-driven globalwrite, aliascheck, and
+# sharedwrite rules. Exceptions need //raslint:allow <rule> <reason>;
 # -stale fails the gate on allow directives that no longer suppress anything.
 lint:
 	$(GO) run ./cmd/raslint -stale ./...

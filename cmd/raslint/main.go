@@ -1,6 +1,7 @@
 // Command raslint runs the project's static-analysis pass (internal/lint)
-// over the module: determinism, mapiter, ctxflow, floatcmp, errdrop, and the
-// flow-sensitive rules lockcheck, leakcheck, and calldeterminism.
+// over the module: determinism, mapiter, ctxflow, floatcmp, errdrop, the
+// flow-sensitive rules lockcheck, leakcheck, and calldeterminism, and the
+// summary-driven rules globalwrite, aliascheck, and sharedwrite.
 // It is part of the pre-merge gate (`make lint`, inside `make check`).
 //
 // Usage:
@@ -10,9 +11,14 @@
 // Patterns are module-relative directories ("internal/mip") or subtree
 // patterns ("./..."); the default is "./...". Every rule has an enable flag
 // (-determinism=false disables it); -json emits machine-readable
-// diagnostics; -stale additionally reports //raslint:allow directives that
-// no longer suppress anything (on in `make lint`). Exit status: 0 clean,
-// 1 findings, 2 load/usage errors.
+// diagnostics, each carrying a stable fingerprint (a hash of rule, file,
+// line, and message) so CI baselines can track findings across runs; -stale
+// additionally reports //raslint:allow directives that no longer suppress
+// anything (on in `make lint`).
+//
+// Exit status separates a red tree from a broken linter: 0 clean, 1
+// findings, 2 usage errors, 3 analyzer internal errors (a package failed to
+// load or type-check, or output could not be written).
 //
 // Intentional exceptions are annotated in the source:
 //
@@ -71,12 +77,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	loader, err := lint.NewLoader(*dir)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
-		return 2
+		return 3
 	}
 	pkgs, err := loader.LoadDirs(patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
-		return 2
+		return 3
 	}
 	diags := lint.Run(cfg, pkgs)
 
@@ -88,7 +94,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintln(stderr, err)
-			return 2
+			return 3
 		}
 	} else {
 		for _, d := range diags {

@@ -1,0 +1,177 @@
+package lint
+
+// aliascheck: workspace and incumbent buffers must not escape the frame
+// that owns them. This is the static form of the aliasing regression the
+// parallel engine already shipped once: an engine published its candidate
+// slice by reference (`e.incumbent = x`) instead of copying, a later
+// in-place mutation of x leaked into the published incumbent, and the
+// parallel solve became dependent on goroutine interleaving. The fix
+// (`e.incumbent = append(e.incumbent[:0], x...)`) copies the backing array;
+// this rule exists so the un-fix cannot come back.
+//
+// Three legs, all driven by the write-effect summaries (summary.go), all
+// restricted to slice- and map-typed values — pointer identity sharing is
+// deliberate architecture (engines hold references to each other), while a
+// silently shared slice backing is the regression class:
+//
+//   - store leg: a slice/map parameter stored into longer-lived state — a
+//     field reachable from the receiver or a pointer parameter, a
+//     package-level variable, a channel — without an intervening copy. An
+//     append into state rooted at the destination itself
+//     (s.buf = append(s.buf[:0], x...)) introduces no alias and is clean.
+//   - goroutine leg: a slice/map captured by a go-launched closure and then
+//     written by the launching function after the launch: the goroutine can
+//     observe the mutation, so ownership was never transferred.
+//   - call leg: a slice/map parameter passed to a module function whose
+//     post-fixpoint summary says it retains that parameter (stores it or
+//     hands it to a goroutine). The alias is created at the call site, so
+//     it is reported there — this is what makes the rule interprocedural
+//     rather than a per-function pattern match.
+//
+// Summaries are computed module-wide, but findings are reported only inside
+// Config.AliascheckScope (default: the solve stack) — the packages where a
+// retained buffer crosses SolveWith re-entry or a goroutine boundary.
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+func (c *Config) aliascheckScope() []string {
+	if c.AliascheckScope != nil {
+		return c.AliascheckScope
+	}
+	return defaultSolveScope
+}
+
+func runAliascheck(cfg *Config, pkgs []*Package, mf *moduleFacts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	scope := cfg.aliascheckScope()
+	for _, fn := range mf.order {
+		ff := mf.facts[fn]
+		if !inScope(scope, ff.node.pkg.Path) {
+			continue
+		}
+		reportStores(ff, report)
+		reportGoMutations(ff, report)
+		reportRetainingCalls(mf, ff, report)
+	}
+}
+
+// reportStores flags the intraprocedural escapes: slice/map parameters
+// stored into longer-lived state or captured by a goroutine, recorded as
+// storeEscape events by the collector.
+func reportStores(ff *funcFacts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	type key struct {
+		param int
+		pos   token.Pos
+	}
+	seen := map[key]bool{}
+	for _, st := range ff.stores {
+		if !bufferLike(st.typ) {
+			continue
+		}
+		k := key{st.param, st.pos}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		p := ff.sum.params[st.param]
+		what := "parameter"
+		if st.param == 0 && isReceiver(ff.node.fn) {
+			what = "receiver"
+		}
+		switch st.kind {
+		case escStore:
+			report(ff.node.pkg, st.pos,
+				"%s %q (%s) is stored into %s, aliasing the caller's buffer past this call; copy it (append(dst[:0], src...)) instead",
+				what, p.Name(), types.TypeString(st.typ, types.RelativeTo(ff.node.fn.Pkg())), st.dest)
+		case escGo:
+			report(ff.node.pkg, st.pos,
+				"%s %q (%s) is captured by a go-launched function; the buffer escapes its owning goroutine",
+				what, p.Name(), types.TypeString(st.typ, types.RelativeTo(ff.node.fn.Pkg())))
+		}
+	}
+}
+
+// reportGoMutations flags the capture-then-mutate pattern: a slice/map
+// handed to a goroutine and then written by the launching function, so the
+// goroutine races with its own caller over the shared backing.
+func reportGoMutations(ff *funcFacts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	var caps []*types.Var
+	for v := range ff.goCaps {
+		caps = append(caps, v)
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].Pos() < caps[j].Pos() })
+	for _, v := range caps {
+		if !bufferLike(v.Type()) {
+			continue
+		}
+		capPos := ff.goCaps[v]
+		for _, w := range ff.writes[v] {
+			if w.insideGo || w.pos <= capPos {
+				continue // the goroutine's own writes are sharedwrite's subject
+			}
+			report(ff.node.pkg, w.pos,
+				"%q was captured by a goroutine launched earlier in this function and is written here; the goroutine can observe the mutation",
+				v.Name())
+			break // one finding per captured variable
+		}
+	}
+}
+
+// reportRetainingCalls flags the interprocedural leg: passing a slice/map
+// parameter to a module function whose summary retains it.
+func reportRetainingCalls(mf *moduleFacts, ff *funcFacts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	type key struct {
+		pos    token.Pos
+		target *types.Func
+		param  int
+	}
+	seen := map[key]bool{}
+	for _, call := range ff.calls {
+		for _, target := range mf.resolveTargets(call.callee) {
+			if target == ff.node.fn {
+				continue // self-recursion retains nothing new
+			}
+			ts := mf.summaryOf(target)
+			if ts == nil {
+				continue
+			}
+			for j := range ts.effects {
+				if j >= len(call.args) || call.args[j].empty() {
+					continue
+				}
+				if len(call.args[j].params) == 0 {
+					continue // only caller parameters are "owned buffers" here
+				}
+				te := ts.effects[j]
+				if te.escape != escStore && te.escape != escGo {
+					continue
+				}
+				if j >= len(ts.params) || !bufferLike(ts.params[j].Type()) {
+					continue
+				}
+				k := key{call.pos, target, j}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				argName := "buffer"
+				if base := call.argBase[j]; base != nil {
+					argName = base.Name()
+				}
+				report(ff.node.pkg, call.pos,
+					"passes %q to %s, which retains it (%s); the buffer outlives this call — copy before passing or make the callee copy",
+					argName, funcDisplayName(target), te.escape)
+			}
+		}
+	}
+}
+
+// isReceiver reports whether fn is a method (so parameter slot 0 is its
+// receiver).
+func isReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

@@ -54,12 +54,8 @@ func (c *Config) calldeterminismEntries() []string {
 	return defaultSolveEntryPoints
 }
 
-func runCalldeterminism(cfg *Config, pkgs []*Package, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
-	g := buildCallGraph(pkgs)
-	byPath := map[string]*Package{}
-	for _, pkg := range pkgs {
-		byPath[pkg.Path] = pkg
-	}
+func runCalldeterminism(cfg *Config, pkgs []*Package, mf *moduleFacts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	g := mf.graph
 
 	// Resolve entry points. Patterns naming packages outside the loaded
 	// set are silently inert so `raslint internal/mip` still works.

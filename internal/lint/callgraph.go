@@ -42,6 +42,7 @@ type callSite struct {
 type cgNode struct {
 	fn    *types.Func
 	pkg   *Package
+	decl  *ast.FuncDecl
 	calls []callSite
 }
 
@@ -75,7 +76,7 @@ func buildCallGraph(pkgs []*Package) *callGraph {
 				if fn == nil {
 					continue
 				}
-				node := &cgNode{fn: fn, pkg: pkg}
+				node := &cgNode{fn: fn, pkg: pkg, decl: fd}
 				collectCalls(pkg.Info, fd.Body, node)
 				g.nodes[fn] = node
 			}

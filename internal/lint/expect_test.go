@@ -73,6 +73,14 @@ func TestAnalyzersAgainstTestdata(t *testing.T) {
 		{dir: "leakcheck_out", importPath: "ras/internal/metrics"},
 		{dir: "calldeterminism", importPath: "ras/internal/app",
 			cfg: &Config{CalldeterminismEntries: []string{"ras/internal/app.Solve"}}},
+		{dir: "globalwrite", importPath: "ras/internal/mip",
+			cfg: &Config{GlobalwriteEntries: []string{"ras/internal/mip.Solve"}}},
+		{dir: "globalwrite_out", importPath: "ras/internal/metrics",
+			cfg: &Config{GlobalwriteEntries: []string{"ras/internal/metrics.Solve"}}},
+		{dir: "aliascheck", importPath: "ras/internal/lp"},
+		{dir: "aliascheck_out", importPath: "ras/internal/topology"},
+		{dir: "sharedwrite", importPath: "ras/internal/backend"},
+		{dir: "sharedwrite_out", importPath: "ras/internal/topology"},
 		{dir: "stale", importPath: "ras/internal/stale", cfg: &Config{Stale: true}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,129 @@
+package lint
+
+// globalwrite: nothing reachable from a Solve entry point may write
+// package-level state. RAS's round-to-round reproducibility (SOSP '21 §5)
+// requires a solve to be a pure function of its inputs plus the explicit
+// warm-start state threaded through SolveWith; a package-level variable
+// mutated anywhere under a solve entry point is hidden cross-round,
+// cross-goroutine state — exactly what made the historical parallel-engine
+// regression possible. The rule walks the call graph breadth-first from the
+// Solve seams (Config.GlobalwriteEntries, defaulting to the same entry
+// points calldeterminism uses) and reports every function on the way whose
+// write-effect summary (summary.go) records a store to a module
+// package-level variable — direct, or induced by handing the global to a
+// mutating callee.
+//
+// The sanctioned seam: writes to globals declared in ras/internal/metrics
+// are exempt. The metrics counters are atomic by construction
+// (atomic.Int64 behind Counter/Gauge methods) and exist precisely to be the
+// one place solve paths may record state; re-flagging each Add would force
+// a blanket allow and teach readers to ignore the rule.
+//
+// Like the summary engine, calls through function values are invisible here
+// (the documented call-graph false negative), and so are writes performed
+// by unloaded packages.
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// metricsSeamPath is the one package whose globals solve paths may write.
+const metricsSeamPath = "ras/internal/metrics"
+
+func (c *Config) globalwriteEntries() []string {
+	if c.GlobalwriteEntries != nil {
+		return c.GlobalwriteEntries
+	}
+	return defaultSolveEntryPoints
+}
+
+func runGlobalwrite(cfg *Config, pkgs []*Package, mf *moduleFacts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	g := mf.graph
+
+	type queued struct {
+		node  *cgNode
+		trail []string
+	}
+	var queue []queued
+	seen := map[*cgNode]bool{}
+	for _, pattern := range cfg.globalwriteEntries() {
+		spec, err := parseEntrySpec(pattern)
+		if err != nil {
+			continue // validated by the driver; unreachable under raslint
+		}
+		for _, fn := range g.resolveEntry(pkgs, spec) {
+			if node, ok := g.nodes[fn]; ok && !seen[node] {
+				seen[node] = true
+				queue = append(queue, queued{node, []string{funcDisplayName(fn)}})
+			}
+		}
+	}
+
+	// One finding per (function, global): the write is reported where it
+	// happens, with the shortest entry-point path for context (the walk is
+	// breadth-first, so the first visit carries the shortest trail).
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if sum := mf.summaryOf(q.node.fn); sum != nil {
+			for _, gv := range sortedGlobalWrites(sum) {
+				v := gv.v
+				if v.Pkg() != nil && v.Pkg().Path() == metricsSeamPath {
+					continue // the sanctioned metrics seam
+				}
+				via := ""
+				if gv.fact.via != "" {
+					via = " via " + gv.fact.via
+				}
+				report(q.node.pkg, gv.fact.pos,
+					"solve path %s writes package-level %s.%s%s; solver state must flow through parameters and results",
+					strings.Join(q.trail, " → "), v.Pkg().Name(), v.Name(), via)
+			}
+		}
+		for _, call := range sortedCalls(q.node) {
+			callee := call.callee
+			var targets []*cgNodeRef
+			if isInterfaceMethod(callee) {
+				for _, impl := range g.implementations(callee) {
+					if node, ok := g.nodes[impl]; ok {
+						targets = append(targets, &cgNodeRef{node, funcDisplayName(impl)})
+					}
+				}
+			} else if node, ok := g.nodes[callee]; ok {
+				targets = append(targets, &cgNodeRef{node, funcDisplayName(callee)})
+			}
+			for _, t := range targets {
+				if seen[t.node] {
+					continue
+				}
+				seen[t.node] = true
+				trail := append(append([]string(nil), q.trail...), t.display)
+				queue = append(queue, queued{t.node, trail})
+			}
+		}
+	}
+}
+
+// sortedGlobalWrite pairs a written global with its first recorded write,
+// in deterministic (position, name) order.
+type sortedGlobalWrite struct {
+	v    *types.Var
+	fact globalWriteFact
+}
+
+func sortedGlobalWrites(sum *effectSummary) []sortedGlobalWrite {
+	out := make([]sortedGlobalWrite, 0, len(sum.globals))
+	for v, fact := range sum.globals {
+		out = append(out, sortedGlobalWrite{v: v, fact: fact})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].fact.pos != out[j].fact.pos {
+			return out[i].fact.pos < out[j].fact.pos
+		}
+		return out[i].v.Name() < out[j].v.Name()
+	})
+	return out
+}

@@ -22,11 +22,15 @@
 package lint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding.
@@ -36,6 +40,12 @@ type Diagnostic struct {
 	Col     int    `json:"col"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+	// Fingerprint is a stable identity for the finding — a short hash of
+	// rule, file, line, and message — so CI baselines and suppression
+	// ratchets can track a finding across runs without string-matching the
+	// whole diagnostic. Column is deliberately excluded: gofmt shifts
+	// columns far more often than it shifts what a finding is about.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -89,14 +99,21 @@ var analyzers = []*analyzer{
 		doc:  "flag go-launched functions whose only exits are unguarded channel operations",
 		run:  runLeakcheck,
 	},
+	{
+		name: "sharedwrite",
+		doc:  "captured or package-level state written from a go-launched function must be lock-held, atomic, or confined",
+		run:  runSharedwrite,
+	},
 }
 
 // moduleAnalyzers run once over the whole loaded package set instead of
-// package by package: call-graph reachability cannot be decided locally.
+// package by package: call-graph reachability and effect summaries cannot
+// be decided locally. They share one moduleFacts (call graph + post-fixpoint
+// write-effect summaries, see summary.go) built once per run.
 type moduleAnalyzer struct {
 	name string
 	doc  string
-	run  func(cfg *Config, pkgs []*Package, report func(pkg *Package, pos token.Pos, format string, args ...any))
+	run  func(cfg *Config, pkgs []*Package, mf *moduleFacts, report func(pkg *Package, pos token.Pos, format string, args ...any))
 }
 
 var moduleAnalyzersList = []*moduleAnalyzer{
@@ -104,6 +121,16 @@ var moduleAnalyzersList = []*moduleAnalyzer{
 		name: "calldeterminism",
 		doc:  "flag solve-entry-point call paths that transitively reach time.Now or global math/rand outside internal/clock",
 		run:  runCalldeterminism,
+	},
+	{
+		name: "globalwrite",
+		doc:  "nothing reachable from a solve entry point may write package-level state (internal/metrics atomics excepted)",
+		run:  runGlobalwrite,
+	},
+	{
+		name: "aliascheck",
+		doc:  "workspace and incumbent buffers must not escape their owning frame by aliasing (store, goroutine capture, or retaining callee)",
+		run:  runAliascheck,
 	},
 }
 
@@ -165,6 +192,18 @@ type Config struct {
 	// methods expand to every module implementation). Nil selects the
 	// repository's Solve seams (see defaultSolveEntryPoints).
 	CalldeterminismEntries []string
+	// GlobalwriteEntries names the entry points the globalwrite rule walks
+	// from, same syntax as CalldeterminismEntries. Nil selects the same
+	// Solve seams.
+	GlobalwriteEntries []string
+	// AliascheckScope lists the import paths where aliascheck reports.
+	// Summaries are still computed module-wide (callers outside the scope
+	// propagate facts into it); only the reporting is scoped. Nil selects
+	// the solve stack.
+	AliascheckScope []string
+	// SharedwriteScope lists the import paths checked by sharedwrite. Nil
+	// selects the solve stack.
+	SharedwriteScope []string
 	// Stale, when set, reports every well-formed //raslint:allow directive
 	// that suppressed nothing in this run, under the "directive" rule, so
 	// annotations cannot outlive the finding they excuse.
@@ -240,6 +279,12 @@ func inScope(scope []string, path string) bool {
 // //raslint:allow directive are suppressed; malformed directives are
 // reported under the "directive" rule, and — with Config.Stale — so is
 // every well-formed directive that suppressed nothing.
+//
+// Per-package analyzers run concurrently, one worker per package up to
+// GOMAXPROCS; each worker fills a private finding slice and directive set,
+// and the results are merged in package order, so the output is
+// byte-identical to a serial run. Module analyzers run serially afterwards
+// over facts built once.
 func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 	if cfg == nil {
 		cfg = &Config{}
@@ -255,37 +300,68 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 	var raw []Diagnostic
 	dirs := newDirectiveSet()
 	var fset *token.FileSet
-	for _, pkg := range pkgs {
-		pkg := pkg
+
+	type pkgResult struct {
+		raw  []Diagnostic
+		dirs *directiveSet
+	}
+	results := make([]pkgResult, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := &results[i]
+			res.dirs = newDirectiveSet()
+			collect := func(rule string) reportFunc {
+				return func(pos token.Pos, format string, args ...any) {
+					p := pkg.Fset.Position(pos)
+					res.raw = append(res.raw, Diagnostic{
+						File:    p.Filename,
+						Line:    p.Line,
+						Col:     p.Column,
+						Rule:    rule,
+						Message: fmt.Sprintf(format, args...),
+					})
+				}
+			}
+			parseDirectives(pkg, known, res.dirs, func(pos token.Pos, rule, format string, args ...any) {
+				collect(rule)(pos, format, args...)
+			})
+			for _, a := range analyzers {
+				if cfg.Disabled[a.name] {
+					continue
+				}
+				a.run(cfg, pkg, collect(a.name))
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
+	for i, pkg := range pkgs {
 		fset = pkg.Fset
-		collect := func(rule string) reportFunc {
-			return func(pos token.Pos, format string, args ...any) {
-				p := pkg.Fset.Position(pos)
-				raw = append(raw, Diagnostic{
-					File:    p.Filename,
-					Line:    p.Line,
-					Col:     p.Column,
-					Rule:    rule,
-					Message: fmt.Sprintf(format, args...),
-				})
-			}
+		raw = append(raw, results[i].raw...)
+		dirs.merge(results[i].dirs)
+	}
+
+	var needFacts bool
+	for _, a := range moduleAnalyzersList {
+		if !cfg.Disabled[a.name] {
+			needFacts = true
 		}
-		parseDirectives(pkg, known, dirs, func(pos token.Pos, rule, format string, args ...any) {
-			collect(rule)(pos, format, args...)
-		})
-		for _, a := range analyzers {
-			if cfg.Disabled[a.name] {
-				continue
-			}
-			a.run(cfg, pkg, collect(a.name))
-		}
+	}
+	var mf *moduleFacts
+	if needFacts {
+		mf = buildModuleFacts(pkgs)
 	}
 	for _, a := range moduleAnalyzersList {
 		if cfg.Disabled[a.name] {
 			continue
 		}
 		name := a.name
-		a.run(cfg, pkgs, func(pkg *Package, pos token.Pos, format string, args ...any) {
+		a.run(cfg, pkgs, mf, func(pkg *Package, pos token.Pos, format string, args ...any) {
 			p := pkg.Fset.Position(pos)
 			raw = append(raw, Diagnostic{
 				File:    p.Filename,
@@ -334,9 +410,23 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
+	for i := range diags {
+		diags[i].Fingerprint = fingerprint(diags[i])
+	}
 	return diags
+}
+
+// fingerprint derives the stable identity hash of a finding: the first 16
+// hex digits of SHA-256 over rule, file, line, and message. See the
+// Diagnostic.Fingerprint field for why column is excluded.
+func fingerprint(d Diagnostic) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%s\x00%d\x00%s", d.Rule, d.File, d.Line, d.Message)))
+	return hex.EncodeToString(h[:8])
 }
 
 // ---- shared type helpers ----

@@ -1,0 +1,182 @@
+package lint
+
+// sharedwrite: a variable written from inside a go-launched function must
+// be protected or private. POP-style partitioned solving (internal/backend)
+// and the parallel branch-and-bound engine fan work out to goroutines that
+// report results back; the only sound ways to do that are a lock held at
+// the write (per lockcheck's may-held dataflow, rerun over the goroutine
+// body), an atomic (a method call, invisible to this rule's
+// direct-assignment check by construction), or confinement — the variable
+// is declared inside the launched function, so no one else can see it.
+// Everything else is a data race that `go test -race` only reports when a
+// test happens to drive the interleaving.
+//
+// The check: for every `go` statement whose target body is visible (a
+// function literal, or a same-package function declaration — same
+// resolution as leakcheck), classify each direct assignment and inc/dec in
+// that body. If the written lvalue's base variable is declared outside the
+// launched function — a captured local, a field chain rooted at a captured
+// receiver, or a package-level variable — and no lock is held at that
+// statement, report it. The safe patterns the solver actually uses remain
+// clean: worker functions that only touch their own parameters and locals,
+// results sent over channels, and mutations under the mutex that lockcheck
+// already polices.
+//
+// Deliberate seams, documented in DESIGN.md: writes inside function
+// literals nested in the goroutine body are not classified (the nested
+// literal is analyzed at its own `go` statement if launched; inline calls
+// are interprocedural and belong to globalwrite/aliascheck), calls made by
+// the goroutine are not followed for the same reason, and a write through
+// a goroutine-local pointer into captured state (p := &shared; p.f = 1)
+// is a known false negative of base-variable classification. The
+// WaitGroup-join pattern — goroutines writing disjoint slice elements, the
+// launcher reading only after Wait — is sound but indistinguishable from a
+// race at this level; such sites carry a //raslint:allow sharedwrite with
+// the disjointness argument spelled out.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func (c *Config) sharedwriteScope() []string {
+	if c.SharedwriteScope != nil {
+		return c.SharedwriteScope
+	}
+	return defaultSolveScope
+}
+
+func runSharedwrite(cfg *Config, pkg *Package, report reportFunc) {
+	if !inScope(cfg.sharedwriteScope(), pkg.Path) {
+		return
+	}
+	// Same-package function declarations, so `go worker(...)` is analyzed
+	// like `go func(){...}()`.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var lo, hi token.Pos
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body, lo, hi = fun.Body, fun.Pos(), fun.End()
+			default:
+				if fn := funcObjOf(pkg.Info, gs.Call.Fun); fn != nil {
+					if fd, ok := decls[fn]; ok {
+						body, lo, hi = fd.Body, fd.Pos(), fd.End()
+					}
+				}
+			}
+			if body == nil {
+				return true // cross-package or dynamic target: not analyzable
+			}
+			checkGoroutineWrites(pkg, gs, body, lo, hi, report)
+			return true
+		})
+	}
+}
+
+// checkGoroutineWrites classifies every direct write in one goroutine body
+// against the lock state at that statement.
+func checkGoroutineWrites(pkg *Package, gs *ast.GoStmt, body *ast.BlockStmt, lo, hi token.Pos, report reportFunc) {
+	info := pkg.Info
+	g := buildCFG(body, typesPanicResolver{info})
+
+	// May-held forward fixpoint over the goroutine body, identical in shape
+	// to lockcheck's: in[b] = union of out[preds].
+	in := make([]map[string]lockState, len(g.blocks))
+	out := make([]map[string]lockState, len(g.blocks))
+	preds := g.preds()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.blocks {
+			ib := map[string]lockState{}
+			for _, p := range preds[b] {
+				mergeLocks(ib, out[p.index])
+			}
+			in[b.index] = ib
+			ob := transferLocks(info, b, copyLocks(ib), nil)
+			if !statesEqual(out[b.index], ob) {
+				out[b.index] = ob
+				changed = true
+			}
+		}
+	}
+
+	// Walk each block's statements in order, threading the lock state
+	// through so a write between Lock and Unlock inside one block counts as
+	// held. One finding per written variable, at its first unguarded write.
+	reported := map[*types.Var]bool{}
+	flag := func(lhs ast.Expr, pos token.Pos, held bool) {
+		if held {
+			return
+		}
+		base, _ := lvalueBaseOf(info, lhs)
+		if base == nil || reported[base] || base.Pos() == token.NoPos {
+			return
+		}
+		if base.Pos() >= lo && base.Pos() <= hi {
+			return // declared inside the launched function: confined
+		}
+		reported[base] = true
+		what := "variable"
+		if base.Parent() != nil && base.Pkg() != nil && base.Parent() == base.Pkg().Scope() {
+			what = "package-level variable"
+		}
+		report(pos, "%s %q is declared outside this go-launched function and written without a lock held; guard the write, use an atomic, or confine it to the goroutine",
+			what, base.Name())
+	}
+	for _, b := range g.blocks {
+		state := copyLocks(in[b.index])
+		for _, st := range b.stmts {
+			held := len(state) > 0
+			switch s := st.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					flag(lhs, s.Pos(), held)
+				}
+			case *ast.IncDecStmt:
+				flag(s.X, s.Pos(), held)
+			}
+			applyLockOps(info, st, state)
+		}
+	}
+}
+
+// applyLockOps advances the may-held lock state across one statement: the
+// single-statement form of lockcheck's transferLocks.
+func applyLockOps(info *types.Info, st ast.Stmt, state map[string]lockState) {
+	shallowInspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := mutexOpOf(info, call)
+		if !ok || op.key == "" {
+			return true
+		}
+		if op.acquire {
+			state[op.key] = lockState{mode: op.mode, pos: op.pos}
+		} else {
+			delete(state, op.key)
+		}
+		return true
+	})
+}

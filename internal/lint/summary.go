@@ -1,0 +1,969 @@
+package lint
+
+// Interprocedural write-effect and aliasing summaries. The rasd solver
+// service and multi-region scale-out put the solver's shared state
+// (workspaces, warm-start snapshots, partition plans) under real
+// concurrency; `go test -race` only catches interleavings that actually
+// happen, so the globalwrite/aliascheck/sharedwrite rules need a static
+// answer to "what does this function write, and what escapes it?".
+//
+// For every function with a body in the loaded packages, this file computes
+// an effectSummary over three fact families:
+//
+//   - package-level writes: module package-level variables the function
+//     stores to, directly or by handing one to a mutating callee;
+//   - parameter mutations: parameters (receiver included, index 0) whose
+//     caller-visible state the function writes through a pointer deref,
+//     slice-element store, or map store;
+//   - escapes: reference-typed parameters the function returns, stores into
+//     longer-lived state (a field reachable from a pointer parameter, a
+//     package-level variable, a channel), or hands to a `go`-launched
+//     closure.
+//
+// The lattice is three monotone fact sets per function (sets of written
+// globals, mutated parameter indices, escaping parameter indices); join is
+// set union; transfer applies a callee's summary to the caller's argument
+// roots at each recorded call site. Facts only ever grow, so iterating the
+// per-function transfer over the CHA call graph to a fixpoint terminates
+// (the lattice is finite: bounded by the module's globals and each
+// function's arity).
+//
+// Root resolution is a flow-insensitive may-alias analysis per function:
+// every local of reference type (pointer, slice, map, chan) accumulates the
+// roots — parameter indices and module globals — of everything assigned to
+// it, iterated to a local fixpoint so chains (`x := p; y := x`) resolve.
+// Conservative choices, in the only direction a linter can afford (extra
+// facts for tracked names, documented blindness elsewhere):
+//
+//   - Calls through function values produce no facts, mirroring the call
+//     graph's documented false-negative class (DESIGN.md); a named function
+//     escaping as a value is invisible here too.
+//   - Unknown callees (stdlib, unresolved) are assumed to mutate their
+//     pointer receiver and explicit pointer-typed arguments, and nothing
+//     else: `mu.Lock()`, `h.Write(p)`, and the atomics under
+//     internal/metrics all register as receiver mutations without their
+//     source being loaded.
+//   - A callee returning its own parameter does not propagate as an escape
+//     (the value flows back into the caller's frame); identity-returning
+//     helpers are therefore a known false negative for aliasing.
+//   - Function literals are attributed to the lexically enclosing
+//     declaration, matching the call graph; writes inside a `go`-launched
+//     literal are tagged so aliascheck can tell the launcher's writes from
+//     the goroutine's own (sharedwrite's subject).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// escapeKind classifies how a parameter leaves its function's frame.
+type escapeKind byte
+
+const (
+	escNone   escapeKind = iota
+	escReturn            // returned to the caller
+	escStore             // stored into longer-lived state or sent on a channel
+	escGo                // captured by (or passed to) a go-launched function
+)
+
+func (k escapeKind) String() string {
+	switch k {
+	case escReturn:
+		return "returned"
+	case escStore:
+		return "stored"
+	case escGo:
+		return "captured by a goroutine"
+	}
+	return "none"
+}
+
+// paramEffect is one parameter's slot in a summary.
+type paramEffect struct {
+	mutated bool
+	mutPos  token.Pos
+	escape  escapeKind
+	escPos  token.Pos
+}
+
+// globalWriteFact records one module package-level variable write.
+type globalWriteFact struct {
+	pos token.Pos
+	// via names the mutating callee for call-induced writes, "" for a
+	// direct store.
+	via string
+}
+
+// effectSummary is the interprocedural fact set of one function.
+type effectSummary struct {
+	// params lists the receiver (when present) followed by the signature
+	// parameters; effects is parallel to it.
+	params  []*types.Var
+	effects []paramEffect
+	// globals maps each written module package-level variable to the first
+	// write recorded for it.
+	globals map[*types.Var]globalWriteFact
+}
+
+// rootSet is the may-point-to abstraction: which parameters and module
+// globals a value's backing store may belong to.
+type rootSet struct {
+	params  map[int]bool
+	globals map[*types.Var]bool
+}
+
+func (r *rootSet) empty() bool {
+	return r == nil || (len(r.params) == 0 && len(r.globals) == 0)
+}
+
+func (r *rootSet) addParam(i int) bool {
+	if r.params == nil {
+		r.params = map[int]bool{}
+	}
+	if r.params[i] {
+		return false
+	}
+	r.params[i] = true
+	return true
+}
+
+func (r *rootSet) addGlobal(v *types.Var) bool {
+	if r.globals == nil {
+		r.globals = map[*types.Var]bool{}
+	}
+	if r.globals[v] {
+		return false
+	}
+	r.globals[v] = true
+	return true
+}
+
+// merge unions src into r, reporting whether r grew.
+func (r *rootSet) merge(src *rootSet) bool {
+	if src == nil {
+		return false
+	}
+	grew := false
+	for i := range src.params {
+		grew = r.addParam(i) || grew
+	}
+	for v := range src.globals {
+		grew = r.addGlobal(v) || grew
+	}
+	return grew
+}
+
+// storeEscape is one aliasing event on a parameter, kept with its position
+// and destination rendering so aliascheck can report it where it happens.
+type storeEscape struct {
+	param int
+	kind  escapeKind
+	pos   token.Pos
+	// dest renders what the value was stored into / captured by.
+	dest string
+	// typ is the static type of the escaping value.
+	typ types.Type
+}
+
+// writeEvent is one syntactic or call-induced write to a function-local
+// variable, for aliascheck's escape-then-mutate check.
+type writeEvent struct {
+	pos token.Pos
+	// insideGo marks writes lexically inside a go-launched function
+	// literal: the goroutine's own writes, not the launcher's.
+	insideGo bool
+}
+
+// summaryCall is one resolved call with argument roots in the callee's
+// parameter space (receiver first).
+type summaryCall struct {
+	callee *types.Func
+	pos    token.Pos
+	// args[i] holds the roots of the expression bound to callee parameter
+	// i; nil when the argument carries no tracked roots.
+	args []*rootSet
+	// argBase[i] is the caller-frame variable the argument is rooted at
+	// (nil when untracked), for attributing call-induced mutations.
+	argBase []*types.Var
+	// insideGo marks calls lexically inside a go-launched literal.
+	insideGo bool
+}
+
+// funcFacts is everything the intraprocedural pass learned about one
+// function: its (growing) summary plus the per-site detail the aliasing
+// rules report from.
+type funcFacts struct {
+	node    *cgNode
+	sum     *effectSummary
+	calls   []summaryCall
+	stores  []storeEscape
+	writes  map[*types.Var][]writeEvent
+	goCaps  map[*types.Var]token.Pos
+	goCapAt map[*types.Var]string // rendering of the capturing go statement's function
+}
+
+// moduleFacts bundles the call graph and the post-fixpoint summaries; one
+// instance is shared by every module-level analyzer in a run.
+type moduleFacts struct {
+	graph      *callGraph
+	modulePkgs map[*types.Package]bool
+	facts      map[*types.Func]*funcFacts
+	// order lists the functions in deterministic (position) order.
+	order []*types.Func
+}
+
+// buildModuleFacts runs the intraprocedural collector over every function
+// and propagates summaries through the call graph to a fixpoint.
+func buildModuleFacts(pkgs []*Package) *moduleFacts {
+	mf := &moduleFacts{
+		graph:      buildCallGraph(pkgs),
+		modulePkgs: map[*types.Package]bool{},
+		facts:      map[*types.Func]*funcFacts{},
+	}
+	for _, pkg := range pkgs {
+		mf.modulePkgs[pkg.Pkg] = true
+	}
+	for _, node := range mf.graph.nodes {
+		mf.facts[node.fn] = collectFuncFacts(mf, node)
+	}
+	for fn := range mf.facts {
+		mf.order = append(mf.order, fn)
+	}
+	sort.Slice(mf.order, func(i, j int) bool { return mf.order[i].Pos() < mf.order[j].Pos() })
+	mf.propagate()
+	return mf
+}
+
+// summaryOf returns fn's summary, nil for functions without bodies.
+func (mf *moduleFacts) summaryOf(fn *types.Func) *effectSummary {
+	if ff, ok := mf.facts[fn]; ok {
+		return ff.sum
+	}
+	return nil
+}
+
+// isModuleGlobal reports whether v is a package-level variable of a loaded
+// module package.
+func (mf *moduleFacts) isModuleGlobal(v *types.Var) bool {
+	if v == nil || v.Pkg() == nil || !mf.modulePkgs[v.Pkg()] {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// refLike reports whether t can alias caller-visible backing store.
+func refLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// bufferLike reports whether t is the mutable-backing class aliascheck
+// polices: slices and maps. Pointer identity sharing is deliberate
+// architecture (engines link to each other); a shared slice backing is the
+// regression class the parallel engine already shipped once.
+func bufferLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// paramVars lists fn's receiver (when present) followed by its parameters.
+func paramVars(fn *types.Func) []*types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	if recv := sig.Recv(); recv != nil {
+		out = append(out, recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// ---- intraprocedural collection ----
+
+// funcCollector carries the per-function analysis state.
+type funcCollector struct {
+	mf      *moduleFacts
+	node    *cgNode
+	info    *types.Info
+	ff      *funcFacts
+	pindex  map[*types.Var]int
+	aliases map[*types.Var]*rootSet
+}
+
+func collectFuncFacts(mf *moduleFacts, node *cgNode) *funcFacts {
+	params := paramVars(node.fn)
+	ff := &funcFacts{
+		node:    node,
+		sum:     &effectSummary{params: params, effects: make([]paramEffect, len(params)), globals: map[*types.Var]globalWriteFact{}},
+		writes:  map[*types.Var][]writeEvent{},
+		goCaps:  map[*types.Var]token.Pos{},
+		goCapAt: map[*types.Var]string{},
+	}
+	c := &funcCollector{
+		mf:      mf,
+		node:    node,
+		info:    node.pkg.Info,
+		ff:      ff,
+		pindex:  map[*types.Var]int{},
+		aliases: map[*types.Var]*rootSet{},
+	}
+	for i, p := range params {
+		c.pindex[p] = i
+	}
+	c.buildAliases(node.decl.Body)
+	c.collectEffects(node.decl.Body)
+	return ff
+}
+
+// varOf resolves an identifier to the variable it names.
+func (c *funcCollector) varOf(id *ast.Ident) *types.Var {
+	obj := c.info.ObjectOf(id)
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// buildAliases runs the flow-insensitive may-alias fixpoint: every
+// reference-typed local accumulates the roots of everything assigned to it.
+func (c *funcCollector) buildAliases(body ast.Node) {
+	type edge struct {
+		dst *types.Var
+		src ast.Expr
+	}
+	var edges []edge
+	addEdge := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v := c.varOf(id)
+		if v == nil || !refLike(v.Type()) {
+			return
+		}
+		edges = append(edges, edge{v, rhs})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					addEdge(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					addEdge(s.Names[i], s.Values[i])
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging a tracked container with reference-typed elements
+			// aliases the loop variable to the container's roots
+			// (`for _, e := range p { e.f = x }` mutates p's pointees).
+			if s.Value != nil {
+				if id, ok := ast.Unparen(s.Value).(*ast.Ident); ok {
+					if v := c.varOf(id); v != nil && refLike(v.Type()) {
+						edges = append(edges, edge{v, s.X})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			roots := c.rootsOf(e.src)
+			if roots.empty() {
+				continue
+			}
+			dst := c.aliases[e.dst]
+			if dst == nil {
+				dst = &rootSet{}
+				c.aliases[e.dst] = dst
+			}
+			if dst.merge(roots) {
+				changed = true
+			}
+		}
+	}
+}
+
+// rootsOf resolves the parameter/global roots an expression's backing store
+// may belong to. Fresh values (literals, non-append call results) have none.
+func (c *funcCollector) rootsOf(e ast.Expr) *rootSet {
+	out := &rootSet{}
+	c.addRoots(e, out, 0)
+	return out
+}
+
+func (c *funcCollector) addRoots(e ast.Expr, out *rootSet, depth int) {
+	if depth > 16 {
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := c.varOf(x)
+		if v == nil {
+			return
+		}
+		if i, ok := c.pindex[v]; ok {
+			out.addParam(i)
+			return
+		}
+		if c.mf.isModuleGlobal(v) {
+			out.addGlobal(v)
+			return
+		}
+		out.merge(c.aliases[v])
+	case *ast.SelectorExpr:
+		// A package-qualified global is its own root; anything else roots
+		// at the base of the selection chain.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := c.info.ObjectOf(id).(*types.PkgName); isPkg {
+				if v, ok := c.info.ObjectOf(x.Sel).(*types.Var); ok && c.mf.isModuleGlobal(v) {
+					out.addGlobal(v)
+				}
+				return
+			}
+		}
+		c.addRoots(x.X, out, depth+1)
+	case *ast.StarExpr:
+		c.addRoots(x.X, out, depth+1)
+	case *ast.IndexExpr:
+		c.addRoots(x.X, out, depth+1)
+	case *ast.SliceExpr:
+		c.addRoots(x.X, out, depth+1)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			c.addRoots(x.X, out, depth+1)
+		}
+	case *ast.CallExpr:
+		// append aliases its first argument's backing; appending elements
+		// of reference type aliases those too. Conversions pass through.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, isB := c.info.Uses[id].(*types.Builtin); isB && b.Name() == "append" && len(x.Args) > 0 {
+				c.addRoots(x.Args[0], out, depth+1)
+				if sl, ok := c.info.Types[x.Args[0]].Type.Underlying().(*types.Slice); ok && refLike(sl.Elem()) {
+					for _, a := range x.Args[1:] {
+						c.addRoots(a, out, depth+1)
+					}
+				}
+				return
+			}
+		}
+		if tv, ok := c.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			c.addRoots(x.Args[0], out, depth+1)
+		}
+	}
+}
+
+// lvalueBase resolves a written expression to its base variable and whether
+// the written location is reached through an indirection (pointer deref,
+// implicit deref in a field selection, slice/map element) — i.e. whether
+// writing it mutates state the base variable merely points to.
+func (c *funcCollector) lvalueBase(e ast.Expr) (v *types.Var, indirect bool) {
+	return lvalueBaseOf(c.info, e)
+}
+
+// lvalueBaseOf is the info-parameterized form of lvalueBase, shared with
+// sharedwrite's per-goroutine write classification.
+func lvalueBaseOf(info *types.Info, e ast.Expr) (v *types.Var, indirect bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		bv, _ := info.ObjectOf(x).(*types.Var)
+		return bv, false
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+				gv, _ := info.ObjectOf(x.Sel).(*types.Var)
+				return gv, false
+			}
+		}
+		bv, ind := lvalueBaseOf(info, x.X)
+		if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				ind = true
+			}
+		}
+		return bv, ind
+	case *ast.StarExpr:
+		bv, _ := lvalueBaseOf(info, x.X)
+		return bv, true
+	case *ast.IndexExpr:
+		bv, ind := lvalueBaseOf(info, x.X)
+		if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Pointer:
+				ind = true
+			}
+		}
+		return bv, ind
+	}
+	return nil, false
+}
+
+// exprDisplay renders an expression for diagnostics, best-effort.
+func exprDisplay(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprDisplay(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprDisplay(x.X)
+	case *ast.IndexExpr:
+		return exprDisplay(x.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprDisplay(x.X) + "[...]"
+	}
+	return "<expr>"
+}
+
+// noteMutation records a write whose base resolves to roots: parameter
+// roots become parameter mutations, module globals become global writes.
+func (c *funcCollector) noteMutation(roots *rootSet, pos token.Pos, via string) {
+	if roots.empty() {
+		return
+	}
+	for i := range roots.params {
+		eff := &c.ff.sum.effects[i]
+		if !eff.mutated {
+			eff.mutated = true
+			eff.mutPos = pos
+		}
+	}
+	for g := range roots.globals {
+		if _, ok := c.ff.sum.globals[g]; !ok {
+			c.ff.sum.globals[g] = globalWriteFact{pos: pos, via: via}
+		}
+	}
+}
+
+// noteEscape records that the given roots escape the frame.
+func (c *funcCollector) noteEscape(roots *rootSet, kind escapeKind, pos token.Pos, dest string, typ types.Type) {
+	if roots.empty() {
+		return
+	}
+	for i := range roots.params {
+		eff := &c.ff.sum.effects[i]
+		if eff.escape == escNone || (eff.escape == escReturn && kind != escReturn) {
+			// Store/goroutine escapes outrank returns: a returned value
+			// stays in the call chain, a stored one outlives it.
+			eff.escape = kind
+			eff.escPos = pos
+		}
+		if kind != escReturn {
+			c.ff.stores = append(c.ff.stores, storeEscape{param: i, kind: kind, pos: pos, dest: dest, typ: typ})
+		}
+	}
+}
+
+// noteWrite records a write event on the base variable itself, for the
+// escape-then-mutate check.
+func (c *funcCollector) noteWrite(v *types.Var, pos token.Pos, insideGo bool) {
+	if v == nil {
+		return
+	}
+	c.ff.writes[v] = append(c.ff.writes[v], writeEvent{pos: pos, insideGo: insideGo})
+}
+
+// collectEffects walks the body once, recording writes, escapes, and calls.
+// insideGo tracks lexical containment in a go-launched function literal.
+func (c *funcCollector) collectEffects(body ast.Node) {
+	var walk func(n ast.Node, insideGo bool)
+	walk = func(n ast.Node, insideGo bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.GoStmt:
+				c.goStmt(s, insideGo)
+				// The call's argument expressions and the launched body are
+				// handled by goStmt; recurse manually so insideGo flips for
+				// the literal's body only.
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					for _, arg := range s.Call.Args {
+						walk(arg, insideGo)
+					}
+					walk(lit.Body, true)
+				} else {
+					c.callExpr(s.Call, insideGo)
+					for _, arg := range s.Call.Args {
+						walk(arg, insideGo)
+					}
+				}
+				return false
+			case *ast.AssignStmt:
+				c.assign(s, insideGo)
+				return true
+			case *ast.IncDecStmt:
+				v, indirect := c.lvalueBase(s.X)
+				c.noteWrite(v, s.Pos(), insideGo)
+				c.mutationAt(s.X, v, indirect, s.Pos())
+				return true
+			case *ast.SendStmt:
+				roots := c.rootsOf(s.Value)
+				if tv, ok := c.info.Types[s.Value]; ok && tv.Type != nil && refLike(tv.Type) {
+					c.noteEscape(roots, escStore, s.Pos(), "a channel send", tv.Type)
+				}
+				return true
+			case *ast.ReturnStmt:
+				for _, res := range s.Results {
+					if tv, ok := c.info.Types[res]; ok && tv.Type != nil && refLike(tv.Type) {
+						c.noteEscape(c.rootsOf(res), escReturn, res.Pos(), "the return value", tv.Type)
+					}
+				}
+				return true
+			case *ast.CallExpr:
+				c.callExpr(s, insideGo)
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// assign classifies every left-hand side of an assignment and records
+// store-escapes of the right-hand sides.
+func (c *funcCollector) assign(s *ast.AssignStmt, insideGo bool) {
+	for i, lhs := range s.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		base, indirect := c.lvalueBase(lhs)
+		c.noteWrite(base, s.Pos(), insideGo)
+		if s.Tok == token.DEFINE && !indirect {
+			continue // fresh binding, not a mutation
+		}
+		c.mutationAt(lhs, base, indirect, s.Pos())
+
+		// Store escape: the destination outlives the frame when its base is
+		// a module global, or a parameter written through an indirection
+		// (receiver fields, pointee state), or a local aliasing either.
+		if i >= len(s.Rhs) {
+			continue // tuple assignment from a call: results are fresh
+		}
+		rhs := s.Rhs[i]
+		tv, ok := c.info.Types[rhs]
+		if !ok || tv.Type == nil || !refLike(tv.Type) {
+			continue
+		}
+		destRoots := c.destRoots(base, indirect)
+		if destRoots.empty() {
+			continue
+		}
+		srcRoots := c.rootsOf(rhs)
+		// A value stored back into state rooted at itself (s.buf =
+		// s.buf[:n]) introduces no new alias.
+		filtered := &rootSet{}
+		for p := range srcRoots.params {
+			if !destRoots.params[p] {
+				filtered.addParam(p)
+			}
+		}
+		if !filtered.empty() {
+			c.noteEscape(filtered, escStore, s.Pos(), exprDisplay(lhs), tv.Type)
+		}
+	}
+}
+
+// destRoots resolves which roots an assignment destination belongs to:
+// non-empty exactly when the destination outlives the function's frame.
+func (c *funcCollector) destRoots(base *types.Var, indirect bool) *rootSet {
+	out := &rootSet{}
+	if base == nil {
+		return out
+	}
+	if c.mf.isModuleGlobal(base) {
+		out.addGlobal(base)
+		return out
+	}
+	if i, ok := c.pindex[base]; ok {
+		if indirect {
+			out.addParam(i)
+		}
+		return out
+	}
+	if indirect {
+		out.merge(c.aliases[base])
+	}
+	return out
+}
+
+// mutationAt records the mutation effects of writing the given lvalue.
+func (c *funcCollector) mutationAt(lhs ast.Expr, base *types.Var, indirect bool, pos token.Pos) {
+	if base == nil {
+		return
+	}
+	if c.mf.isModuleGlobal(base) {
+		if _, ok := c.ff.sum.globals[base]; !ok {
+			c.ff.sum.globals[base] = globalWriteFact{pos: pos}
+		}
+		return
+	}
+	if !indirect {
+		return // rebinding a local or a parameter copy stays frame-local
+	}
+	if i, ok := c.pindex[base]; ok {
+		eff := &c.ff.sum.effects[i]
+		if !eff.mutated {
+			eff.mutated = true
+			eff.mutPos = pos
+		}
+		return
+	}
+	c.noteMutation(c.aliases[base], pos, "")
+}
+
+// goStmt records goroutine-capture escapes: free reference-typed variables
+// of a launched literal, and tracked arguments of a launched call.
+func (c *funcCollector) goStmt(s *ast.GoStmt, insideGo bool) {
+	noteCap := func(v *types.Var, pos token.Pos, display string) {
+		if v == nil || !refLike(v.Type()) {
+			return
+		}
+		if _, seen := c.ff.goCaps[v]; !seen {
+			c.ff.goCaps[v] = pos
+			c.ff.goCapAt[v] = display
+		}
+		if i, ok := c.pindex[v]; ok {
+			roots := &rootSet{}
+			roots.addParam(i)
+			c.noteEscape(roots, escGo, pos, display, v.Type())
+		} else if al := c.aliases[v]; al != nil {
+			c.noteEscape(al, escGo, pos, display, v.Type())
+		}
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		// Free variables: identifiers in the literal's body that resolve to
+		// variables declared outside it (and not to its own parameters).
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v := c.varOf(id)
+			if v == nil || v.Pos() == token.NoPos {
+				return true
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+				return true // the literal's own parameter or local
+			}
+			noteCap(v, s.Pos(), "go statement")
+			return true
+		})
+		return
+	}
+	for _, arg := range s.Call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			noteCap(c.varOf(id), s.Pos(), "go statement")
+		} else {
+			roots := c.rootsOf(arg)
+			if tv, ok := c.info.Types[arg]; ok && tv.Type != nil && refLike(tv.Type) {
+				c.noteEscape(roots, escGo, s.Pos(), "go statement", tv.Type)
+			}
+		}
+	}
+	_ = insideGo
+}
+
+// callExpr records a call's argument roots for interprocedural propagation,
+// applying the unknown-callee policy immediately.
+func (c *funcCollector) callExpr(call *ast.CallExpr, insideGo bool) {
+	// Builtins: copy mutates its destination.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := c.info.Uses[id].(*types.Builtin); isB {
+			if b.Name() == "copy" && len(call.Args) == 2 {
+				base, _ := c.lvalueBase(call.Args[0])
+				c.noteWrite(base, call.Pos(), insideGo)
+				c.noteMutation(c.rootsOf(call.Args[0]), call.Pos(), "copy")
+			}
+			return
+		}
+	}
+	fn := funcObjOf(c.info, call.Fun)
+	if fn == nil {
+		return // function value: the documented blind spot
+	}
+
+	// Bind arguments into the callee's parameter space, receiver first.
+	var recvExpr ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selInfo, ok := c.info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+			recvExpr = sel.X
+		}
+	}
+
+	known := c.mf.graph.nodes[fn] != nil || isInterfaceMethod(fn)
+	if !known {
+		// Synchronization primitives are guards, not state: mu.Lock() on a
+		// package-level mutex must not register as a global write, or every
+		// guarded registry read would need an allow. sync.Map and sync.Pool
+		// are NOT exempt — they hold real state.
+		if isSyncPrimitiveMethod(fn) {
+			return
+		}
+		// Unknown callee: assume it mutates its pointer receiver and its
+		// explicit pointer-typed arguments, nothing else.
+		if recvExpr != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if _, isPtr := sig.Recv().Type().Underlying().(*types.Pointer); isPtr {
+					base, _ := c.lvalueBase(recvExpr)
+					c.noteWrite(base, call.Pos(), insideGo)
+					c.noteMutation(c.rootsOf(recvExpr), call.Pos(), funcDisplayName(fn))
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if tv, ok := c.info.Types[arg]; ok && tv.Type != nil {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					base, _ := c.lvalueBase(arg)
+					c.noteWrite(base, call.Pos(), insideGo)
+					c.noteMutation(c.rootsOf(arg), call.Pos(), funcDisplayName(fn))
+				}
+			}
+		}
+		return
+	}
+
+	nParams := len(paramVars(fn))
+	sc := summaryCall{
+		callee:   fn,
+		pos:      call.Pos(),
+		args:     make([]*rootSet, nParams),
+		argBase:  make([]*types.Var, nParams),
+		insideGo: insideGo,
+	}
+	slot := 0
+	bind := func(e ast.Expr) {
+		if slot >= nParams {
+			// Variadic overflow: union extra arguments into the last slot.
+			slot = nParams - 1
+		}
+		if slot < 0 {
+			return
+		}
+		roots := c.rootsOf(e)
+		if !roots.empty() {
+			if sc.args[slot] == nil {
+				sc.args[slot] = &rootSet{}
+			}
+			sc.args[slot].merge(roots)
+		}
+		if base, _ := c.lvalueBase(e); base != nil && sc.argBase[slot] == nil {
+			sc.argBase[slot] = base
+		}
+		slot++
+	}
+	if recvExpr != nil {
+		bind(recvExpr)
+	} else if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		slot++ // method expression/value: receiver untracked
+	}
+	for _, arg := range call.Args {
+		bind(arg)
+	}
+	c.ff.calls = append(c.ff.calls, sc)
+}
+
+// syncPrimitiveTypes are the sync types whose methods only synchronize;
+// they mutate internal bookkeeping, never solver-visible state.
+var syncPrimitiveTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// isSyncPrimitiveMethod reports whether fn is a method of a pure
+// synchronization primitive.
+func isSyncPrimitiveMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && syncPrimitiveTypes[named.Obj().Name()]
+}
+
+// ---- interprocedural propagation ----
+
+// resolveTargets expands a recorded callee to the function bodies that can
+// stand behind it.
+func (mf *moduleFacts) resolveTargets(fn *types.Func) []*types.Func {
+	if isInterfaceMethod(fn) {
+		return mf.graph.implementations(fn)
+	}
+	if _, ok := mf.facts[fn]; ok {
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// propagate iterates the call-site transfer until no summary grows: a
+// callee mutating parameter j mutates every root the caller binds to j, and
+// a callee storing/goroutine-escaping parameter j escapes those roots too.
+func (mf *moduleFacts) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range mf.order {
+			ff := mf.facts[fn]
+			for _, call := range ff.calls {
+				for _, target := range mf.resolveTargets(call.callee) {
+					ts := mf.summaryOf(target)
+					if ts == nil {
+						continue
+					}
+					for j := range ts.effects {
+						if j >= len(call.args) || call.args[j].empty() {
+							continue
+						}
+						te := ts.effects[j]
+						roots := call.args[j]
+						if te.mutated {
+							for p := range roots.params {
+								eff := &ff.sum.effects[p]
+								if !eff.mutated {
+									eff.mutated = true
+									eff.mutPos = call.pos
+									changed = true
+								}
+							}
+							for g := range roots.globals {
+								if _, ok := ff.sum.globals[g]; !ok {
+									ff.sum.globals[g] = globalWriteFact{pos: call.pos, via: funcDisplayName(target)}
+									changed = true
+								}
+							}
+						}
+						if te.escape == escStore || te.escape == escGo {
+							for p := range roots.params {
+								eff := &ff.sum.effects[p]
+								if eff.escape == escNone || eff.escape == escReturn {
+									eff.escape = te.escape
+									eff.escPos = call.pos
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Fixture for the aliascheck analyzer, loaded under "ras/internal/lp" (in
+// the default aliascheck scope). The first case reproduces the historical
+// parallel-engine aliasing regression verbatim in shape: an engine
+// publishing its candidate slice by reference instead of copying, so a
+// later in-place mutation of the caller's buffer leaks into the published
+// incumbent.
+package lp
+
+type engine struct {
+	incumbent []float64
+	next      *engine
+}
+
+// offer is the regression: the parameter's backing array is retained past
+// the call through the receiver field.
+func (e *engine) offer(x []float64) {
+	e.incumbent = x // want `parameter "x" \(\[\]float64\) is stored into e\.incumbent`
+}
+
+// offerCopy is the fix that closed the regression: append into the
+// receiver's own backing array copies the elements, so nothing aliases.
+func (e *engine) offerCopy(x []float64) {
+	e.incumbent = append(e.incumbent[:0], x...) // silent: copies, no alias
+}
+
+// trim only re-slices state rooted at the receiver itself: no new alias.
+func (e *engine) trim(n int) {
+	e.incumbent = e.incumbent[:n] // silent: self-rooted store
+}
+
+// link retains a pointer, which is deliberate architecture (engines hold
+// references to each other); aliascheck polices slice/map backing only.
+func (e *engine) link(other *engine) {
+	e.next = other // silent: pointer identity sharing is allowed
+}
+
+var published []float64
+
+// publish retains the parameter in a package-level variable.
+func publish(x []float64) {
+	published = x // want `parameter "x" \(\[\]float64\) is stored into published`
+}
+
+// handOff retains the parameter via a goroutine capture: the buffer now has
+// two owners.
+func handOff(xs []float64, sink func(float64)) {
+	done := make(chan struct{})
+	go func() { // want `parameter "xs" \(\[\]float64\) is captured by a go-launched function`
+		sink(xs[0])
+		close(done)
+	}()
+	xs[0] = 0 // want `"xs" was captured by a goroutine launched earlier in this function and is written here`
+	<-done
+}
+
+// caller passes its buffer to a callee whose summary says it retains it:
+// the alias is created here, so it is reported here.
+func caller(e *engine, x []float64) {
+	e.offer(x) // want `passes "x" to lp\.\(\*engine\)\.offer, which retains it \(stored\)`
+}
+
+// callerCopy passes the same buffer to the copying variant: clean.
+func callerCopy(e *engine, x []float64) {
+	e.offerCopy(x) // silent: callee copies
+}
+
+// sum only reads its argument; reading is never an effect.
+func sum(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// confined builds its buffer inside the goroutine that owns it and hands it
+// over by channel: ownership transfers, nothing aliases.
+func confined(n int) []float64 {
+	out := make(chan []float64, 1)
+	go func() {
+		buf := make([]float64, n)
+		buf[0] = 1
+		out <- buf
+	}()
+	return <-out
+}

@@ -1,0 +1,23 @@
+// Negative fixture: the same retention patterns as the aliascheck fixture,
+// loaded under "ras/internal/topology" — outside the aliascheck scope.
+// Summaries are still computed for these functions (callers elsewhere could
+// propagate from them), but nothing here may be reported.
+package topology
+
+type engine struct {
+	incumbent []float64
+}
+
+func (e *engine) offer(x []float64) {
+	e.incumbent = x // silent: out of aliascheck scope
+}
+
+var published []float64
+
+func publish(x []float64) {
+	published = x // silent: out of aliascheck scope
+}
+
+func caller(e *engine, x []float64) {
+	e.offer(x) // silent: out of aliascheck scope
+}

@@ -1,0 +1,60 @@
+// Fixture for the globalwrite analyzer. Loaded under "ras/internal/mip"
+// with ras/internal/mip.Solve as the sole globalwrite entry point, so every
+// finding here is reachability-based: the same writes in functions Solve
+// never reaches stay silent. The transitive cases exercise the effect
+// summaries — the write is induced by handing a global's address down a
+// callee chain, and the finding lands at the call that leaks it.
+package mip
+
+var (
+	iterations int
+	score      float64
+	depth      int
+	cache      = map[string]int{}
+	limit      = 64
+)
+
+func Solve(n int) int {
+	iterations++   // want `solve path mip\.Solve writes package-level mip\.iterations`
+	bump(&score)   // want `solve path mip\.Solve writes package-level mip\.score via mip\.bump`
+	level1(&depth) // want `solve path mip\.Solve writes package-level mip\.depth via mip\.level1`
+	record()
+	return helper(n)
+}
+
+// bump mutates through its pointer parameter: one-hop summary propagation.
+func bump(p *float64) {
+	*p += 1
+}
+
+// level1 → level2 is the two-hop chain: level2's parameter mutation must
+// reach level1's summary at the fixpoint before Solve's call site can be
+// blamed.
+func level1(p *int) {
+	level2(p)
+}
+
+func level2(p *int) {
+	*p = 5
+}
+
+// record writes a global directly, two calls down from the entry point; the
+// finding carries the call path.
+func record() {
+	cache["solve"] = 1 // want `solve path mip\.Solve → mip\.record writes package-level mip\.cache`
+}
+
+// helper only reads package state: reads are not effects.
+func helper(n int) int {
+	if n > limit {
+		return limit
+	}
+	return n
+}
+
+// unreachableReset writes the same globals but is not reachable from Solve,
+// so globalwrite says nothing about it.
+func unreachableReset() {
+	iterations = 0
+	cache = map[string]int{}
+}

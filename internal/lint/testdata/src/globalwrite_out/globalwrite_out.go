@@ -1,0 +1,32 @@
+// Negative fixture for the globalwrite analyzer: loaded under
+// "ras/internal/metrics" — the sanctioned seam. Writes to globals declared
+// in the metrics package are exactly what the package exists for (atomic
+// counters solve paths may record into), so with the entry point set to
+// ras/internal/metrics.Solve every write below must stay silent.
+package metrics
+
+// Counter mirrors the real metrics counter shape: mutation happens behind a
+// pointer-receiver method, so the write reaches the global through the
+// receiver summary, not a direct store.
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Add(d int64) {
+	c.n += d
+}
+
+var (
+	Solves   Counter
+	restarts int
+)
+
+func Solve() {
+	Solves.Add(1) // silent: metrics globals are the sanctioned seam
+	restarts++    // silent: direct write, same seam
+	helper()
+}
+
+func helper() {
+	restarts = 0 // silent: reachable, still the seam
+}

@@ -1,0 +1,68 @@
+// Fixture for the sharedwrite analyzer, loaded under "ras/internal/backend"
+// (in the default sharedwrite scope). Result fan-in uses WaitGroup joins
+// rather than channels so leakcheck (also scoped to backend) stays out of
+// the picture and every finding below is sharedwrite's.
+package backend
+
+import "sync"
+
+type tally struct {
+	mu sync.Mutex
+	n  int
+}
+
+// unguarded is the race: a captured local and a captured slice parameter
+// both written from the goroutine with no lock held.
+func unguarded(res []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(i int) { // want `parameter "res" \(\[\]int\) is captured by a go-launched function`
+			defer wg.Done()
+			total += i // want `variable "total" is declared outside this go-launched function and written without a lock held`
+			res[i] = i // want `variable "res" is declared outside this go-launched function and written without a lock held`
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// guarded holds the mutex across the write: lockcheck's may-held facts,
+// rerun over the goroutine body, exempt it.
+func guarded(t *tally) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.mu.Lock()
+		t.n++ // silent: lock held at the write
+		t.mu.Unlock()
+	}()
+	wg.Wait()
+}
+
+// confined writes only variables declared inside the launched function.
+func confined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := 0
+		local++ // silent: goroutine-local
+		_ = local
+	}()
+	wg.Wait()
+}
+
+var launches int
+
+// bump is flagged at its write because launchNamed starts it as a
+// goroutine: `go name()` resolves same-package declarations like literals.
+func bump() {
+	launches++ // want `package-level variable "launches" is declared outside this go-launched function and written without a lock held`
+}
+
+func launchNamed() {
+	go bump()
+}

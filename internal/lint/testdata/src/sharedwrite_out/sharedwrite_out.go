@@ -1,0 +1,31 @@
+// Negative fixture: the same races as the sharedwrite fixture, loaded under
+// "ras/internal/topology" — outside both the sharedwrite and aliascheck
+// scopes — so everything here must stay silent.
+package topology
+
+import "sync"
+
+func unguarded(res []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			defer wg.Done()
+			total += i // silent: out of sharedwrite scope
+			res[i] = i // silent: out of sharedwrite scope
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+var launches int
+
+func bump() {
+	launches++ // silent: out of sharedwrite scope
+}
+
+func launchNamed() {
+	go bump()
+}

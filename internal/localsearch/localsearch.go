@@ -196,6 +196,9 @@ func SolveWarm(ctx context.Context, in solver.Input, cfg Config, warm *WarmState
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Start i owns results[i] exclusively; wg.Wait() orders the
+			// writes before the winner scan reads them.
+			//raslint:allow sharedwrite disjoint per-start slots; wg.Wait orders writes before reads
 			results[i] = climb(ctx, in, cfg, startSeed(cfg.Seed, i), warm)
 		}(i)
 	}

@@ -78,8 +78,14 @@ func Split(region *topology.Region, states []broker.ServerState, k int) (*Plan, 
 	// (expression 6, Σ − max_MSB ≥ C_r) is unsatisfiable for any positive
 	// demand inside a single-MSB sub-region — its left-hand side is
 	// identically zero — so a finer split would make sub-MIPs optimally
-	// serve nothing and push the whole solve onto the repair pass.
-	if maxK := region.NumMSBs / 2; maxK >= 1 && k > maxK {
+	// serve nothing and push the whole solve onto the repair pass. The floor
+	// of 1 keeps a zero- or one-MSB region at K=1 rather than minting empty
+	// partitions.
+	maxK := region.NumMSBs / 2
+	if maxK < 1 {
+		maxK = 1
+	}
+	if k > maxK {
 		k = maxK
 	}
 
@@ -132,7 +138,7 @@ func Split(region *topology.Region, states []broker.ServerState, k int) (*Plan, 
 	for _, p := range plan.PartOfMSB {
 		buf = appendUint32(buf, uint32(p))
 	}
-	h.Write(buf) //raslint:allow errdrop hash.Hash Write never fails
+	h.Write(buf) //raslint:allow errdrop hash.Hash documents that Write never returns an error
 	plan.Sig = h.Sum64()
 	return plan, nil
 }
