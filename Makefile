@@ -17,11 +17,13 @@ vet:
 
 # Project-specific static analysis (cmd/raslint): determinism, mapiter,
 # ctxflow, floatcmp, errdrop, the flow-sensitive lockcheck, leakcheck, and
-# calldeterminism rules, and the summary-driven globalwrite, aliascheck, and
-# sharedwrite rules. Exceptions need //raslint:allow <rule> <reason>;
-# -stale fails the gate on allow directives that no longer suppress anything.
+# calldeterminism rules, the summary-driven globalwrite, aliascheck, and
+# sharedwrite rules, and the SSA-based nanguard, deadstore, and boundsproof
+# rules. Exceptions need //raslint:allow <rule> <reason>; -stale fails the
+# gate on allow directives that no longer suppress anything; -budget turns a
+# linter latency regression into exit 3 instead of a silently slower gate.
 lint:
-	$(GO) run ./cmd/raslint -stale ./...
+	$(GO) run ./cmd/raslint -stale -budget 120s ./...
 
 build:
 	$(GO) build ./...

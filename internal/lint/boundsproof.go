@@ -1,0 +1,131 @@
+package lint
+
+// boundsproof: slice indexing with a computed index inside a hot loop must
+// carry a proof that the index stays within [0, len(base)). The
+// factorization and pricing loops walk eta files and packed row/column
+// storage with i+1 / i-1 / stride arithmetic; an off-by-one there either
+// panics deep inside a solve (best case) or silently reads an adjacent
+// eta's entries (worst case, when the slices are views into one backing
+// array).
+//
+// The rule fires on index expressions that involve arithmetic — a
+// BinaryExpr or unary minus after stripping parens. Plain identifier
+// indexes (xs[i]) are deliberately out of scope: range bindings and
+// loop-bounded counters prove themselves trivially, and the residue would
+// be noise; the arithmetic sites are where off-by-one bugs live
+// (documented false negative). The base must be a tracked slice variable
+// (so len(base) is a stable symbol) or any expression of constant array
+// type. Struct-field slice bases are untracked and skipped.
+//
+// The interval engine (interval.go) proves containment from loop bounds,
+// dominating branch conditions (including i+1 < len(xs) forms), len/cap
+// facts, i%len(xs) arithmetic, and callee return-fact summaries. Sites it
+// cannot discharge are proof obligations: restructure the loop so the
+// guard dominates, or record the invariant with
+// //raslint:allow boundsproof <reason>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func (c *Config) boundsproofScope() []string {
+	if c.BoundsproofScope != nil {
+		return c.BoundsproofScope
+	}
+	return defaultSolveScope
+}
+
+func runBoundsproof(cfg *Config, pkgs []*Package, mf *moduleFacts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	scope := cfg.boundsproofScope()
+	va := mf.valueAnalysisFor(cfg)
+	for _, fn := range mf.order {
+		node := mf.graph.nodes[fn]
+		if node == nil || !inScope(scope, node.pkg.Path) {
+			continue
+		}
+		f := va.ssaOf(fn)
+		if f == nil {
+			continue
+		}
+		ev := va.evaluatorFor(fn)
+		for _, b := range f.rpo {
+			if !f.inLoop[b] {
+				continue
+			}
+			for _, st := range b.stmts {
+				for _, e := range shallowExprs(st) {
+					checkBoundsExpr(node.pkg, e, b, f, ev, report)
+				}
+			}
+		}
+	}
+}
+
+func checkBoundsExpr(pkg *Package, root ast.Expr, b *cfgBlock, f *ssaFunc, ev *evaluator, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if !arithmeticIndex(ix.Index) {
+			return true
+		}
+		baseName, proven := proveIndex(pkg.Info, f, ev, ix, b)
+		if baseName == "" {
+			return true // untracked or non-slice base: out of scope
+		}
+		if !proven {
+			report(pkg, ix.Index.Pos(), "unproven index: %s is not proven within [0, len(%s)) on every path through this loop; add a dominating bounds check or //raslint:allow boundsproof <reason>",
+				types.ExprString(ix.Index), baseName)
+		}
+		return true
+	})
+}
+
+// arithmeticIndex reports whether the index expression computes — the
+// off-by-one surface this rule covers.
+func arithmeticIndex(idx ast.Expr) bool {
+	switch x := ast.Unparen(idx).(type) {
+	case *ast.BinaryExpr:
+		return true
+	case *ast.UnaryExpr:
+		return x.Op == token.SUB
+	}
+	return false
+}
+
+// proveIndex resolves the indexing base and attempts the containment
+// proof. It returns the base's display name ("" when the site is out of
+// scope) and whether the index interval is contained in [0, len(base)).
+func proveIndex(info *types.Info, f *ssaFunc, ev *evaluator, ix *ast.IndexExpr, b *cfgBlock) (string, bool) {
+	// Constant-array bases (including struct fields) have a static length.
+	if n, ok := constArrayLen(info, ix.X); ok {
+		iv, pend := ev.exprInterval(ix.Index, b, 0)
+		proven := !pend && loGEZero(iv.lo) &&
+			!iv.hi.inf && iv.hi.lenOf == nil && iv.hi.c <= n-1
+		return types.ExprString(ix.X), proven
+	}
+	id, ok := ast.Unparen(ix.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	base := f.useOf[id]
+	if base == nil {
+		return "", false
+	}
+	if _, isSlice := base.obj.Type().Underlying().(*types.Slice); !isSlice {
+		return "", false
+	}
+	iv, pend := ev.exprInterval(ix.Index, b, 0)
+	proven := !pend && loGEZero(iv.lo) &&
+		!iv.hi.inf && iv.hi.lenOf == base && iv.hi.c <= -1
+	return id.Name, proven
+}

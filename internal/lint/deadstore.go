@@ -1,0 +1,331 @@
+package lint
+
+// deadstore: a write to a local variable or a workspace-owned buffer
+// element that no execution path reads before it is overwritten or the
+// function returns. In the solve stack these are rarely harmless: a dead
+// write to a Devex reference weight or a factorization workspace usually
+// means the *intended* read is using a stale value from the previous
+// iteration.
+//
+// Two analyses share the SSA form:
+//
+//   - Scalar liveness: a definition is live when its value reaches an
+//     anchor read (any use outside the RHS of another tracked definition:
+//     conditions, calls, returns, element-store operands) directly or
+//     through phi nodes and later definitions. Dead definitions are
+//     reported, cascading: if x += y only feeds a dead value, the x it
+//     read is re-examined too.
+//
+//   - Buffer element stores: for a function-owned buffer — every
+//     definition is make() or a composite literal, it is not a parameter
+//     or named result, and no range binding, defer, or goroutine touches
+//     it — a store buf[i] = v is dead when no read of the buffer is
+//     CFG-reachable from the store. Same-index overwrites are NOT
+//     tracked: a store followed by a full-buffer read is conservatively
+//     live even if every element is overwritten first (documented false
+//     negative).
+//
+// Variables whose address is taken, that escape into closures, or that
+// are struct fields are untracked by the SSA layer and never reported.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+func (c *Config) deadstoreScope() []string {
+	if c.DeadstoreScope != nil {
+		return c.DeadstoreScope
+	}
+	return defaultSolveScope
+}
+
+func runDeadstore(cfg *Config, pkgs []*Package, mf *moduleFacts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	scope := cfg.deadstoreScope()
+	va := mf.valueAnalysisFor(cfg)
+	for _, fn := range mf.order {
+		node := mf.graph.nodes[fn]
+		if node == nil || !inScope(scope, node.pkg.Path) {
+			continue
+		}
+		f := va.ssaOf(fn)
+		if f == nil {
+			continue
+		}
+		checkScalarDeadStores(node.pkg, f, report)
+		checkBufferDeadStores(node.pkg, f, report)
+	}
+}
+
+// defRHSExprs lists the expressions whose reads feed def d.
+func defRHSExprs(d *ssaValue) []ast.Expr {
+	if !d.tuple {
+		var out []ast.Expr
+		if d.rhs != nil {
+			out = append(out, d.rhs)
+		}
+		if d.opRhs != nil {
+			out = append(out, d.opRhs)
+		}
+		return out
+	}
+	switch st := d.stmt.(type) {
+	case *ast.AssignStmt:
+		return st.Rhs
+	case *ast.DeclStmt:
+		var out []ast.Expr
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func checkScalarDeadStores(pkg *Package, f *ssaFunc, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	// feeders[d] lists the values whose reads the definition of d consumes;
+	// feedingIdents marks the use sites sitting inside some definition's RHS
+	// so the anchor scan below can skip them.
+	feeders := map[*ssaValue][]*ssaValue{}
+	feedingIdents := map[*ast.Ident]bool{}
+	for _, d := range f.values {
+		if d.kind != ssaDef || d.stmt == nil {
+			continue
+		}
+		if d.prev != nil {
+			feeders[d] = append(feeders[d], d.prev)
+		}
+		for _, e := range defRHSExprs(d) {
+			if !removableExpr(f.pkg.Info, e) {
+				// Dead-store elimination keeps an effectful RHS (x =
+				// f(free) becomes f(free)): its reads survive the dead
+				// assignment, so they anchor liveness below instead of
+				// feeding the defined value.
+				continue
+			}
+			ast.Inspect(e, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.Ident:
+					if u := f.useOf[x]; u != nil && f.kindOf[x] == useRead {
+						feeders[d] = append(feeders[d], u)
+						feedingIdents[x] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	live := map[*ssaValue]bool{}
+	var work []*ssaValue
+	mark := func(v *ssaValue) {
+		if v != nil && !live[v] {
+			live[v] = true
+			work = append(work, v)
+		}
+	}
+	// Anchors: reads outside definition RHSes, element-store bases (the
+	// buffer analysis owns store deadness; the slice header itself is in
+	// use), and named results snapshotted at bare returns.
+	for id, u := range f.useOf {
+		if f.kindOf[id] == useElemStore || !feedingIdents[id] {
+			mark(u)
+		}
+	}
+	for _, site := range f.returns {
+		for _, v := range site.named {
+			mark(v)
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range v.phiArgs {
+			mark(a)
+		}
+		for _, a := range feeders[v] {
+			mark(a)
+		}
+	}
+
+	for _, v := range f.values {
+		if v.kind != ssaDef || v.tuple || live[v] || v.stmt == nil {
+			continue
+		}
+		if f.namedResults[v.obj] {
+			continue
+		}
+		report(pkg, v.pos, "dead store: the value assigned to %s is never read before it is overwritten or the function returns", v.obj.Name())
+	}
+}
+
+// removableExpr reports whether eliminating a dead store to `x = e` also
+// eliminates the evaluation of e: no function calls (pure builtins and
+// conversions excepted) and no channel receives. Calls inside function
+// literals do not run when the literal is merely built.
+func removableExpr(info *types.Info, e ast.Expr) bool {
+	removable := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				removable = false
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap", "min", "max", "real", "imag", "complex":
+						return true
+					}
+				}
+			}
+			removable = false
+		}
+		return true
+	})
+	return removable
+}
+
+// bufferOwned reports whether every definition of obj is a fresh make() or
+// composite literal, so the function exclusively owns the backing array.
+func bufferOwned(f *ssaFunc, obj *types.Var, vals []*ssaValue) bool {
+	if f.namedResults[obj] {
+		return false
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	sawDef := false
+	for _, v := range vals {
+		switch v.kind {
+		case ssaPhi:
+			continue
+		case ssaDef:
+			if v.tuple || v.rhs == nil || !freshBufferExpr(f.pkg.Info, v.rhs) {
+				return false
+			}
+			sawDef = true
+		default:
+			// Parameters, zero values (nil slice), and range bindings all
+			// alias memory the caller or another structure can observe.
+			return false
+		}
+	}
+	return sawDef
+}
+
+// freshBufferExpr recognizes make([]T, ...) and composite literals.
+func freshBufferExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type bufferSite struct {
+	id    *ast.Ident
+	stmt  ast.Stmt
+	block *cfgBlock
+	index int
+}
+
+func checkBufferDeadStores(pkg *Package, f *ssaFunc, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	valsOf := map[*types.Var][]*ssaValue{}
+	for _, v := range f.values {
+		valsOf[v.obj] = append(valsOf[v.obj], v)
+	}
+
+	// Collect per-variable store and read sites, and disqualify buffers a
+	// defer or goroutine reads: those reads execute at times the CFG does
+	// not model.
+	stores := map[*types.Var][]bufferSite{}
+	reads := map[*types.Var][]bufferSite{}
+	deferred := map[*types.Var]bool{}
+	for id, u := range f.useOf {
+		st := f.useStmt[id]
+		if st == nil {
+			continue
+		}
+		site := bufferSite{id: id, stmt: st, block: f.stmtBlock[st], index: f.stmtIndex[st]}
+		if site.block == nil {
+			continue
+		}
+		switch f.kindOf[id] {
+		case useElemStore:
+			stores[u.obj] = append(stores[u.obj], site)
+		case useRead:
+			reads[u.obj] = append(reads[u.obj], site)
+			switch st.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				deferred[u.obj] = true
+			}
+		}
+	}
+
+	var owned []*types.Var
+	for obj := range stores {
+		if !deferred[obj] && bufferOwned(f, obj, valsOf[obj]) {
+			owned = append(owned, obj)
+		}
+	}
+	sort.Slice(owned, func(i, j int) bool { return owned[i].Pos() < owned[j].Pos() })
+
+	for _, obj := range owned {
+		sts := stores[obj]
+		sort.Slice(sts, func(i, j int) bool { return sts[i].id.Pos() < sts[j].id.Pos() })
+		for _, s := range sts {
+			if !readReachable(f, s, reads[obj]) {
+				report(pkg, s.stmt.Pos(), "dead store: no read of %s is reachable from this element store before the function returns", obj.Name())
+			}
+		}
+	}
+}
+
+// readReachable reports whether any read site executes on some path after
+// the store: later in the same block, or anywhere in a block reachable
+// from the store's successors.
+func readReachable(f *ssaFunc, store bufferSite, reads []bufferSite) bool {
+	hasRead := map[*cfgBlock]bool{}
+	for _, r := range reads {
+		hasRead[r.block] = true
+		if r.block == store.block && r.index > store.index {
+			return true
+		}
+	}
+	seen := map[*cfgBlock]bool{}
+	queue := append([]*cfgBlock{}, store.block.succs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if hasRead[b] {
+			return true
+		}
+		queue = append(queue, b.succs...)
+	}
+	return false
+}

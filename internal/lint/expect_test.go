@@ -82,6 +82,12 @@ func TestAnalyzersAgainstTestdata(t *testing.T) {
 		{dir: "sharedwrite", importPath: "ras/internal/backend"},
 		{dir: "sharedwrite_out", importPath: "ras/internal/topology"},
 		{dir: "stale", importPath: "ras/internal/stale", cfg: &Config{Stale: true}},
+		{dir: "nanguard", importPath: "ras/internal/lp"},
+		{dir: "nanguard_out", importPath: "ras/internal/topology"},
+		{dir: "deadstore", importPath: "ras/internal/solver"},
+		{dir: "deadstore_out", importPath: "ras/internal/metrics"},
+		{dir: "boundsproof", importPath: "ras/internal/lp"},
+		{dir: "boundsproof_out", importPath: "ras/internal/topology"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -31,6 +31,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Diagnostic is one finding.
@@ -132,6 +134,21 @@ var moduleAnalyzersList = []*moduleAnalyzer{
 		doc:  "workspace and incumbent buffers must not escape their owning frame by aliasing (store, goroutine capture, or retaining callee)",
 		run:  runAliascheck,
 	},
+	{
+		name: "nanguard",
+		doc:  "float divisions, math.Sqrt, and math.Log in the solve stack must have their operand proven safe on every path",
+		run:  runNanguard,
+	},
+	{
+		name: "deadstore",
+		doc:  "flag writes to locals and workspace-owned buffer elements never read before overwrite or return",
+		run:  runDeadstore,
+	},
+	{
+		name: "boundsproof",
+		doc:  "computed slice indexes in hot loops must be proven within [0, len) or carry a reasoned allow",
+		run:  runBoundsproof,
+	},
 }
 
 // RuleNames lists every rule, including the synthetic "directive" rule that
@@ -204,10 +221,24 @@ type Config struct {
 	// SharedwriteScope lists the import paths checked by sharedwrite. Nil
 	// selects the solve stack.
 	SharedwriteScope []string
+	// NanguardScope lists the import paths where nanguard reports. The
+	// value-dataflow facts are still computed module-wide. Nil selects the
+	// solve stack.
+	NanguardScope []string
+	// DeadstoreScope lists the import paths where deadstore reports. Nil
+	// selects the solve stack.
+	DeadstoreScope []string
+	// BoundsproofScope lists the import paths where boundsproof reports.
+	// Nil selects the solve stack.
+	BoundsproofScope []string
 	// Stale, when set, reports every well-formed //raslint:allow directive
 	// that suppressed nothing in this run, under the "directive" rule, so
 	// annotations cannot outlive the finding they excuse.
 	Stale bool
+	// Workers caps the per-package analyzer concurrency. Zero or negative
+	// selects GOMAXPROCS. Output is byte-identical at any setting: workers
+	// fill private slices merged in package order.
+	Workers int
 }
 
 // Default scopes, as import paths of this module.
@@ -274,6 +305,22 @@ func inScope(scope []string, path string) bool {
 	return false
 }
 
+// RuleTiming is the accumulated analysis time of one rule across every
+// package it ran over. For per-package analyzers running concurrently the
+// nanos are summed CPU-side wall clock per package, so they can exceed the
+// run's total elapsed time.
+type RuleTiming struct {
+	Rule  string `json:"rule"`
+	Nanos int64  `json:"nanos"`
+}
+
+// RunStats reports where a run's analysis time went. Timings never reach
+// stdout in the driver: the -json stream stays byte-identical across runs.
+type RunStats struct {
+	Rules []RuleTiming  `json:"rules"` // registry order; only rules that ran
+	Total time.Duration `json:"total_nanos"`
+}
+
 // Run executes every enabled analyzer over pkgs and returns the surviving
 // findings sorted by position. Findings on lines carrying a matching
 // //raslint:allow directive are suppressed; malformed directives are
@@ -281,11 +328,18 @@ func inScope(scope []string, path string) bool {
 // every well-formed directive that suppressed nothing.
 //
 // Per-package analyzers run concurrently, one worker per package up to
-// GOMAXPROCS; each worker fills a private finding slice and directive set,
-// and the results are merged in package order, so the output is
-// byte-identical to a serial run. Module analyzers run serially afterwards
-// over facts built once.
+// Config.Workers (default GOMAXPROCS); each worker fills a private finding
+// slice and directive set, and the results are merged in package order, so
+// the output is byte-identical to a serial run. Module analyzers run
+// serially afterwards over facts built once.
 func Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	diags, _ := RunWithStats(cfg, pkgs)
+	return diags
+}
+
+// RunWithStats is Run plus per-rule timing.
+func RunWithStats(cfg *Config, pkgs []*Package) ([]Diagnostic, *RunStats) {
+	start := time.Now()
 	if cfg == nil {
 		cfg = &Config{}
 	}
@@ -306,8 +360,15 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 		dirs *directiveSet
 	}
 	results := make([]pkgResult, len(pkgs))
+	// ruleNanos is indexed [analyzers..., moduleAnalyzersList..., directive].
+	ruleNanos := make([]int64, len(analyzers)+len(moduleAnalyzersList)+1)
+	dirIdx := len(ruleNanos) - 1
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, max(1, workers))
 	for i, pkg := range pkgs {
 		wg.Add(1)
 		go func(i int, pkg *Package) {
@@ -328,14 +389,18 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 					})
 				}
 			}
+			t0 := time.Now()
 			parseDirectives(pkg, known, res.dirs, func(pos token.Pos, rule, format string, args ...any) {
 				collect(rule)(pos, format, args...)
 			})
-			for _, a := range analyzers {
+			atomic.AddInt64(&ruleNanos[dirIdx], time.Since(t0).Nanoseconds())
+			for ai, a := range analyzers {
 				if cfg.Disabled[a.name] {
 					continue
 				}
+				t0 := time.Now()
 				a.run(cfg, pkg, collect(a.name))
+				atomic.AddInt64(&ruleNanos[ai], time.Since(t0).Nanoseconds())
 			}
 		}(i, pkg)
 	}
@@ -356,11 +421,12 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 	if needFacts {
 		mf = buildModuleFacts(pkgs)
 	}
-	for _, a := range moduleAnalyzersList {
+	for mi, a := range moduleAnalyzersList {
 		if cfg.Disabled[a.name] {
 			continue
 		}
 		name := a.name
+		t0 := time.Now()
 		a.run(cfg, pkgs, mf, func(pkg *Package, pos token.Pos, format string, args ...any) {
 			p := pkg.Fset.Position(pos)
 			raw = append(raw, Diagnostic{
@@ -371,6 +437,7 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 				Message: fmt.Sprintf(format, args...),
 			})
 		})
+		ruleNanos[len(analyzers)+mi] += time.Since(t0).Nanoseconds()
 	}
 
 	// Phase 2: apply suppressions, marking each directive that fires.
@@ -418,7 +485,23 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 	for i := range diags {
 		diags[i].Fingerprint = fingerprint(diags[i])
 	}
-	return diags
+
+	stats := &RunStats{Total: time.Since(start)}
+	for i, n := range ruleNanos {
+		var rule string
+		switch {
+		case i < len(analyzers):
+			rule = analyzers[i].name
+		case i < len(analyzers)+len(moduleAnalyzersList):
+			rule = moduleAnalyzersList[i-len(analyzers)].name
+		default:
+			rule = "directive"
+		}
+		if n > 0 || !cfg.Disabled[rule] {
+			stats.Rules = append(stats.Rules, RuleTiming{Rule: rule, Nanos: n})
+		}
+	}
+	return diags, stats
 }
 
 // fingerprint derives the stable identity hash of a finding: the first 16

@@ -1,0 +1,1076 @@
+package lint
+
+// SSA-lite value dataflow over the per-function CFG (cfg.go). The
+// flow-sensitive rules reason about *control*; the value rules (nanguard,
+// deadstore, boundsproof) need to reason about *which assignment a use
+// sees* — a guard proved on one version of a variable says nothing about a
+// later redefinition. This file renames every tracked local and parameter
+// into versioned values with phi nodes at join blocks, giving the interval
+// and guard analyses (interval.go) a sound def-use substrate.
+//
+// "Lite" is a set of deliberate restrictions, documented in DESIGN.md
+// ("Value dataflow (SSA-lite)"):
+//
+//   - Tracked variables are locals and parameters whose underlying type is
+//     a basic type or a slice, whose address is never taken, that are not
+//     referenced by any function literal, and that are not type-switch
+//     bindings. Everything else — struct locals, captured variables,
+//     pointees — is opaque: uses of untracked variables resolve to no
+//     value, and the rules fall back to pessimism.
+//   - A slice variable's *header* is versioned (x = append(x, v) defines a
+//     new value); element stores x[i] = v do not, mirroring Go semantics.
+//     Element stores are recorded as uses of kind useElemStore so deadstore
+//     can tell "wrote into the buffer" from "read the buffer".
+//   - Statements are walked shallowly, exactly as the CFG stores them: a
+//     compound statement contributes only the expressions that evaluate in
+//     its head block (if/for conditions, switch tags, the ranged operand);
+//     nested bodies are renamed in their own blocks.
+//
+// Construction is the textbook minimal-SSA pipeline: reachable blocks in
+// reverse postorder, Cooper–Harvey–Kennedy dominators, dominance frontiers,
+// phi insertion at the iterated frontier of each variable's definition
+// blocks, then a renaming walk over the dominator tree.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ssaKind classifies how an ssaValue came to be.
+type ssaKind uint8
+
+const (
+	ssaParam ssaKind = iota // parameter, receiver, or named result at entry
+	ssaZero                 // var declaration without initializer (zero value)
+	ssaDef                  // assignment or := definition
+	ssaRange                // range key/value binding at a loop head
+	ssaPhi                  // join of versions at a merge block
+)
+
+// ssaValue is one version of one tracked variable.
+type ssaValue struct {
+	id    int
+	obj   *types.Var
+	kind  ssaKind
+	block *cfgBlock
+	pos   token.Pos
+	stmt  ast.Stmt // defining statement (nil for params and phis)
+	lhs   *ast.Ident
+
+	// rhs is the defining expression for a 1:1 ssaDef (x = e, x := e);
+	// nil for tuple assignments, op-assigns, and every other kind.
+	rhs ast.Expr
+	// tuple marks a def from a multi-value RHS (x, y := f()).
+	tuple bool
+
+	// Op-assign defs (x += e, x++) read the previous version: prev is the
+	// incoming value, opTok the arithmetic token (ADD for ++, SUB for --),
+	// opRhs the RHS operand (nil for ++/--).
+	opTok token.Token
+	prev  *ssaValue
+	opRhs ast.Expr
+
+	// Range defs: rangeX is the ssa value of the ranged operand when it is
+	// a tracked slice variable (nil otherwise); rangeIsKey distinguishes the
+	// index from the element; rangeSliceLike reports whether the ranged
+	// operand's type gives the key [0, len) index semantics (slice, array,
+	// pointer-to-array, or string).
+	rangeX         *ssaValue
+	rangeIsKey     bool
+	rangeSliceLike bool
+
+	// phiArgs is parallel to the block's predecessor list; entries may be
+	// nil when a predecessor path carries no definition (use before def on
+	// a path invalid Go rules out, or an unreachable edge).
+	phiArgs []*ssaValue
+
+	// realUses counts expression uses (reads); phiUses counts references as
+	// a phi operand. Deadstore computes transitive liveness from realUses.
+	realUses int
+	phiUses  []*ssaValue
+}
+
+// useKind classifies one identifier use site.
+type useKind uint8
+
+const (
+	useRead      useKind = iota // ordinary read
+	useElemStore                // base of an element-store LHS (buf[i] = v)
+)
+
+// ssaFunc is the SSA form of one function body.
+type ssaFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	cfg  *funcCFG
+
+	reach    map[*cfgBlock]bool
+	rpo      []*cfgBlock
+	preds    map[*cfgBlock][]*cfgBlock
+	idom     map[*cfgBlock]*cfgBlock
+	children map[*cfgBlock][]*cfgBlock
+	// domPre/domPost are dominator-tree DFS numbers for O(1) dominance.
+	domPre, domPost map[*cfgBlock]int
+
+	tracked      map[*types.Var]bool
+	namedResults map[*types.Var]bool
+	entryVals    map[*types.Var]*ssaValue
+
+	values []*ssaValue
+	phis   map[*cfgBlock][]*ssaValue
+
+	// useOf resolves a use identifier to the version it reads; kindOf
+	// carries the use classification; useStmt the recorded statement the
+	// use evaluates under.
+	useOf   map[*ast.Ident]*ssaValue
+	kindOf  map[*ast.Ident]useKind
+	useStmt map[*ast.Ident]ast.Stmt
+
+	// rangeBind maps a range loop's head block to its RangeStmt, and
+	// rangeXVal the RangeStmt to the version of its (tracked) operand.
+	rangeBind map[*cfgBlock]*ast.RangeStmt
+	rangeXVal map[*ast.RangeStmt]*ssaValue
+
+	// returns lists the reachable return statements with their blocks, for
+	// the interprocedural return-fact summaries.
+	returns []returnSite
+
+	// resultVars lists the signature's result variables in order (nil for
+	// unnamed results), so bare returns can resolve to reaching versions.
+	resultVars []*types.Var
+
+	// stmtBlock/stmtIndex locate each recorded statement in its block, for
+	// rules that need "the block this expression evaluates in" and
+	// within-block ordering.
+	stmtBlock map[ast.Stmt]*cfgBlock
+	stmtIndex map[ast.Stmt]int
+
+	// inLoop marks blocks that lie on a CFG cycle (reachable from one of
+	// their own successors) — the hot-loop scope boundsproof reports in.
+	inLoop map[*cfgBlock]bool
+}
+
+type returnSite struct {
+	stmt  *ast.ReturnStmt
+	block *cfgBlock
+	// named snapshots the reaching version of each named result at a bare
+	// return, parallel to resultVars; nil entries are untracked.
+	named []*ssaValue
+}
+
+// dominates reports whether a dominates b (reflexively).
+func (f *ssaFunc) dominates(a, b *cfgBlock) bool {
+	return f.domPre[a] <= f.domPre[b] && f.domPost[b] <= f.domPost[a]
+}
+
+// buildSSA lowers decl's body to SSA-lite form. It returns nil for bodies
+// the CFG cannot represent usefully (nil body).
+func buildSSA(pkg *Package, decl *ast.FuncDecl) *ssaFunc {
+	if decl.Body == nil {
+		return nil
+	}
+	f := &ssaFunc{
+		pkg:          pkg,
+		decl:         decl,
+		cfg:          buildCFG(decl.Body, typesPanicResolver{pkg.Info}),
+		tracked:      map[*types.Var]bool{},
+		namedResults: map[*types.Var]bool{},
+		entryVals:    map[*types.Var]*ssaValue{},
+		phis:         map[*cfgBlock][]*ssaValue{},
+		useOf:        map[*ast.Ident]*ssaValue{},
+		kindOf:       map[*ast.Ident]useKind{},
+		useStmt:      map[*ast.Ident]ast.Stmt{},
+		rangeBind:    map[*cfgBlock]*ast.RangeStmt{},
+		rangeXVal:    map[*ast.RangeStmt]*ssaValue{},
+	}
+	f.computeOrder()
+	f.computeDominators()
+	f.collectTracked()
+	f.indexRangeHeads()
+	f.indexStmts()
+	f.placePhis()
+	f.rename()
+	return f
+}
+
+// indexStmts records each statement's block and in-block position, and marks
+// the blocks that lie on a cycle.
+func (f *ssaFunc) indexStmts() {
+	f.stmtBlock = map[ast.Stmt]*cfgBlock{}
+	f.stmtIndex = map[ast.Stmt]int{}
+	for _, b := range f.rpo {
+		for i, st := range b.stmts {
+			f.stmtBlock[st] = b
+			f.stmtIndex[st] = i
+		}
+	}
+	f.inLoop = map[*cfgBlock]bool{}
+	for _, b := range f.rpo {
+		seen := map[*cfgBlock]bool{}
+		work := append([]*cfgBlock(nil), b.succs...)
+		for len(work) > 0 {
+			n := work[0]
+			work = work[1:]
+			if seen[n] || !f.reach[n] {
+				continue
+			}
+			seen[n] = true
+			if n == b {
+				f.inLoop[b] = true
+				break
+			}
+			work = append(work, n.succs...)
+		}
+	}
+}
+
+// computeOrder floods reachability from entry and records a reverse
+// postorder over the reachable subgraph, plus predecessor lists.
+func (f *ssaFunc) computeOrder() {
+	f.reach = map[*cfgBlock]bool{}
+	var post []*cfgBlock
+	var dfs func(b *cfgBlock)
+	dfs = func(b *cfgBlock) {
+		f.reach[b] = true
+		for _, s := range b.succs {
+			if !f.reach[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.cfg.entry)
+	f.rpo = make([]*cfgBlock, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		f.rpo = append(f.rpo, post[i])
+	}
+	f.preds = map[*cfgBlock][]*cfgBlock{}
+	for _, b := range f.rpo {
+		for _, s := range b.succs {
+			if f.reach[s] {
+				f.preds[s] = append(f.preds[s], b)
+			}
+		}
+	}
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm over
+// the reverse postorder, then numbers the dominator tree for O(1) queries.
+func (f *ssaFunc) computeDominators() {
+	order := map[*cfgBlock]int{}
+	for i, b := range f.rpo {
+		order[b] = i
+	}
+	idom := map[*cfgBlock]*cfgBlock{f.cfg.entry: f.cfg.entry}
+	intersect := func(a, b *cfgBlock) *cfgBlock {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.rpo {
+			if b == f.cfg.entry {
+				continue
+			}
+			var newIdom *cfgBlock
+			for _, p := range f.preds[b] {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	f.idom = idom
+	f.children = map[*cfgBlock][]*cfgBlock{}
+	for _, b := range f.rpo {
+		if b == f.cfg.entry {
+			continue
+		}
+		if p := idom[b]; p != nil {
+			f.children[p] = append(f.children[p], b)
+		}
+	}
+	for _, kids := range f.children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].index < kids[j].index })
+	}
+	f.domPre = map[*cfgBlock]int{}
+	f.domPost = map[*cfgBlock]int{}
+	n := 0
+	var number func(b *cfgBlock)
+	number = func(b *cfgBlock) {
+		n++
+		f.domPre[b] = n
+		for _, c := range f.children[b] {
+			number(c)
+		}
+		n++
+		f.domPost[b] = n
+	}
+	number(f.cfg.entry)
+}
+
+// collectTracked decides which variables participate in SSA renaming.
+func (f *ssaFunc) collectTracked() {
+	info := f.pkg.Info
+	// Candidate set: parameters, receiver, named results, and body locals.
+	candidate := map[*types.Var]bool{}
+	sig, _ := info.Defs[f.decl.Name].(*types.Func)
+	if sig != nil {
+		if s, ok := sig.Type().(*types.Signature); ok {
+			if r := s.Recv(); r != nil {
+				candidate[r] = true
+			}
+			for i := 0; i < s.Params().Len(); i++ {
+				candidate[s.Params().At(i)] = true
+			}
+			for i := 0; i < s.Results().Len(); i++ {
+				rv := s.Results().At(i)
+				if rv.Name() != "" && rv.Name() != "_" {
+					candidate[rv] = true
+					f.namedResults[rv] = true
+					f.resultVars = append(f.resultVars, rv)
+				} else {
+					f.resultVars = append(f.resultVars, nil)
+				}
+			}
+		}
+	}
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				candidate[v] = true
+			}
+		}
+		return true
+	})
+
+	disqualified := map[*types.Var]bool{}
+	varOf := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := info.ObjectOf(id).(*types.Var)
+		return v
+	}
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				walk(x.Body, true)
+				if x.Type != nil {
+					walk(x.Type, true)
+				}
+				return false
+			case *ast.UnaryExpr:
+				// &x pins the variable to memory; all bets are off.
+				if x.Op == token.AND {
+					if v := varOf(x.X); v != nil {
+						disqualified[v] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				// A method selection on the variable may take its address
+				// implicitly (pointer-receiver methods on addressable
+				// operands).
+				if v := varOf(x.X); v != nil {
+					if sel, ok := info.Selections[x]; ok && sel.Kind() != types.FieldVal {
+						disqualified[v] = true
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				// The per-clause binding has one object per clause; opaque.
+				if as, ok := x.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok {
+						if v, ok := info.Defs[id].(*types.Var); ok {
+							disqualified[v] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				if inLit {
+					// Any variable a function literal touches is shared
+					// state between frames; leave it opaque.
+					if v, ok := info.ObjectOf(x).(*types.Var); ok {
+						disqualified[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(f.decl.Body, false)
+
+	for v := range candidate {
+		if disqualified[v] || v.Name() == "_" || v.Name() == "" {
+			continue
+		}
+		switch v.Type().Underlying().(type) {
+		case *types.Basic, *types.Slice:
+			f.tracked[v] = true
+		}
+	}
+}
+
+// indexRangeHeads maps each range loop's head block (the per-iteration
+// binding point) to its RangeStmt. The CFG records the RangeStmt in the
+// block where the ranged operand evaluates; that block's single successor
+// is the head.
+func (f *ssaFunc) indexRangeHeads() {
+	for _, b := range f.rpo {
+		if len(b.stmts) == 0 {
+			continue
+		}
+		if rs, ok := b.stmts[len(b.stmts)-1].(*ast.RangeStmt); ok && len(b.succs) == 1 {
+			f.rangeBind[b.succs[0]] = rs
+		}
+	}
+}
+
+// shallowDefs reports the tracked variables a statement defines in the
+// block that holds it (nested bodies excluded).
+func (f *ssaFunc) shallowDefs(st ast.Stmt) []*types.Var {
+	info := f.pkg.Info
+	var out []*types.Var
+	add := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.ObjectOf(id).(*types.Var); ok && f.tracked[v] {
+				out = append(out, v)
+			}
+		}
+	}
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			add(lhs)
+		}
+	case *ast.IncDecStmt:
+		add(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						add(name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// placePhis inserts phi nodes at the iterated dominance frontier of each
+// tracked variable's definition blocks.
+func (f *ssaFunc) placePhis() {
+	// Dominance frontiers (Cooper's formulation).
+	df := map[*cfgBlock][]*cfgBlock{}
+	for _, b := range f.rpo {
+		ps := f.preds[b]
+		if len(ps) < 2 {
+			continue
+		}
+		for _, p := range ps {
+			runner := p
+			for runner != f.idom[b] && runner != nil {
+				df[runner] = append(df[runner], b)
+				if runner == f.cfg.entry {
+					break
+				}
+				runner = f.idom[runner]
+			}
+		}
+	}
+
+	// Definition blocks per variable.
+	defBlocks := map[*types.Var][]*cfgBlock{}
+	seen := map[*types.Var]map[*cfgBlock]bool{}
+	note := func(v *types.Var, b *cfgBlock) {
+		if seen[v] == nil {
+			seen[v] = map[*cfgBlock]bool{}
+		}
+		if !seen[v][b] {
+			seen[v][b] = true
+			defBlocks[v] = append(defBlocks[v], b)
+		}
+	}
+	for v := range f.tracked {
+		if f.isEntryVar(v) {
+			note(v, f.cfg.entry)
+		}
+	}
+	for _, b := range f.rpo {
+		if rs := f.rangeBind[b]; rs != nil {
+			for _, e := range []ast.Expr{rs.Key, rs.Value} {
+				if e == nil {
+					continue
+				}
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+					if v, ok := f.pkg.Info.ObjectOf(id).(*types.Var); ok && f.tracked[v] {
+						note(v, b)
+					}
+				}
+			}
+		}
+		for _, st := range b.stmts {
+			for _, v := range f.shallowDefs(st) {
+				note(v, b)
+			}
+		}
+	}
+
+	// Iterated frontier, one worklist per variable.
+	vars := make([]*types.Var, 0, len(defBlocks))
+	for v := range defBlocks {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	for _, v := range vars {
+		work := append([]*cfgBlock(nil), defBlocks[v]...)
+		hasPhi := map[*cfgBlock]bool{}
+		inWork := map[*cfgBlock]bool{}
+		for _, b := range work {
+			inWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[0]
+			work = work[1:]
+			for _, d := range df[b] {
+				if hasPhi[d] {
+					continue
+				}
+				hasPhi[d] = true
+				phi := f.newValue(v, ssaPhi, d, firstStmtPos(d.stmts))
+				phi.phiArgs = make([]*ssaValue, len(f.preds[d]))
+				f.phis[d] = append(f.phis[d], phi)
+				if !inWork[d] {
+					inWork[d] = true
+					work = append(work, d)
+				}
+			}
+		}
+	}
+}
+
+// firstStmtPos gives a representative position for a block's phi nodes.
+func firstStmtPos(stmts []ast.Stmt) token.Pos {
+	for _, st := range stmts {
+		if p := st.Pos(); p.IsValid() {
+			return p
+		}
+	}
+	return token.NoPos
+}
+
+// isEntryVar reports whether v is defined at function entry (parameter,
+// receiver, or named result).
+func (f *ssaFunc) isEntryVar(v *types.Var) bool {
+	if f.namedResults[v] {
+		return true
+	}
+	sig, _ := f.pkg.Info.Defs[f.decl.Name].(*types.Func)
+	if sig == nil {
+		return false
+	}
+	s, ok := sig.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if r := s.Recv(); r == v && r != nil {
+		return true
+	}
+	for i := 0; i < s.Params().Len(); i++ {
+		if s.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *ssaFunc) newValue(v *types.Var, kind ssaKind, b *cfgBlock, pos token.Pos) *ssaValue {
+	val := &ssaValue{id: len(f.values), obj: v, kind: kind, block: b, pos: pos, opTok: token.ILLEGAL}
+	f.values = append(f.values, val)
+	return val
+}
+
+// ---- renaming ----
+
+type renameState struct {
+	f      *ssaFunc
+	stacks map[*types.Var][]*ssaValue
+	// curStmt is the recorded statement currently being renamed, for
+	// attributing uses to their statement.
+	curStmt ast.Stmt
+}
+
+func (f *ssaFunc) rename() {
+	rs := &renameState{f: f, stacks: map[*types.Var][]*ssaValue{}}
+	// Entry definitions: parameters, receiver, named results.
+	entryVars := make([]*types.Var, 0, len(f.tracked))
+	for v := range f.tracked {
+		if f.isEntryVar(v) {
+			entryVars = append(entryVars, v)
+		}
+	}
+	sort.Slice(entryVars, func(i, j int) bool { return entryVars[i].Pos() < entryVars[j].Pos() })
+	for _, v := range entryVars {
+		val := f.newValue(v, ssaParam, f.cfg.entry, v.Pos())
+		f.entryVals[v] = val
+		rs.stacks[v] = append(rs.stacks[v], val)
+	}
+	rs.block(f.cfg.entry)
+}
+
+func (rs *renameState) top(v *types.Var) *ssaValue {
+	st := rs.stacks[v]
+	if len(st) == 0 {
+		return nil
+	}
+	return st[len(st)-1]
+}
+
+func (rs *renameState) push(v *types.Var, val *ssaValue) { rs.stacks[v] = append(rs.stacks[v], val) }
+
+func (rs *renameState) block(b *cfgBlock) {
+	f := rs.f
+	var pushed []*types.Var
+
+	for _, phi := range f.phis[b] {
+		rs.push(phi.obj, phi)
+		pushed = append(pushed, phi.obj)
+	}
+	if rangeStmt := f.rangeBind[b]; rangeStmt != nil {
+		pushed = append(pushed, rs.rangeDefs(rangeStmt, b)...)
+	}
+	for _, st := range b.stmts {
+		pushed = append(pushed, rs.stmt(st, b)...)
+	}
+
+	// Fill successor phi operands with the versions flowing out of b.
+	for _, s := range b.succs {
+		if !f.reach[s] {
+			continue
+		}
+		predIdx := -1
+		for i, p := range f.preds[s] {
+			if p == b {
+				predIdx = i
+				break
+			}
+		}
+		if predIdx < 0 {
+			continue
+		}
+		for _, phi := range f.phis[s] {
+			if cur := rs.top(phi.obj); cur != nil {
+				phi.phiArgs[predIdx] = cur
+				cur.phiUses = append(cur.phiUses, phi)
+			}
+		}
+	}
+
+	for _, c := range f.children[b] {
+		rs.block(c)
+	}
+	for _, v := range pushed {
+		rs.stacks[v] = rs.stacks[v][:len(rs.stacks[v])-1]
+	}
+}
+
+// rangeDefs introduces the per-iteration key/value definitions at a range
+// loop's head block.
+func (rs *renameState) rangeDefs(rangeStmt *ast.RangeStmt, head *cfgBlock) []*types.Var {
+	f := rs.f
+	info := f.pkg.Info
+	var pushed []*types.Var
+	xv := f.rangeXVal[rangeStmt]
+	_, sliceLike := rangeOperandSliceLike(info, rangeStmt.X)
+	bind := func(e ast.Expr, isKey bool) {
+		if e == nil {
+			return
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, _ := info.ObjectOf(id).(*types.Var)
+		if v == nil || !f.tracked[v] {
+			return
+		}
+		val := f.newValue(v, ssaRange, head, id.Pos())
+		val.lhs = id
+		val.stmt = rangeStmt
+		val.rangeX = xv
+		val.rangeIsKey = isKey
+		val.rangeSliceLike = sliceLike
+		rs.push(v, val)
+		pushed = append(pushed, v)
+	}
+	bind(rangeStmt.Key, true)
+	bind(rangeStmt.Value, false)
+	return pushed
+}
+
+// rangeOperandSliceLike reports whether ranging x yields [0, len) integer
+// keys (slice, array, pointer to array, or string).
+func rangeOperandSliceLike(info *types.Info, x ast.Expr) (types.Type, bool) {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	switch u := t.(type) {
+	case *types.Slice, *types.Array:
+		return tv.Type, true
+	case *types.Basic:
+		return tv.Type, u.Info()&types.IsString != 0
+	}
+	return tv.Type, false
+}
+
+// stmt renames one statement shallowly, returning the variables it pushed.
+func (rs *renameState) stmt(st ast.Stmt, b *cfgBlock) []*types.Var {
+	f := rs.f
+	info := f.pkg.Info
+	var pushed []*types.Var
+	prevStmt := rs.curStmt
+	rs.curStmt = st
+	defer func() { rs.curStmt = prevStmt }()
+
+	def := func(id *ast.Ident, make func(v *types.Var) *ssaValue) {
+		v, _ := info.ObjectOf(id).(*types.Var)
+		if v == nil || !f.tracked[v] {
+			return
+		}
+		val := make(v)
+		val.lhs = id
+		rs.push(v, val)
+		pushed = append(pushed, v)
+	}
+
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+			for _, rhs := range s.Rhs {
+				rs.uses(rhs, b)
+			}
+			// Non-ident LHS operands (indexes, selectors) are reads of
+			// their components; classify slice-element store bases.
+			for _, lhs := range s.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+					rs.lvalueUses(lhs, b)
+				}
+			}
+			oneToOne := len(s.Lhs) == len(s.Rhs)
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				def(id, func(v *types.Var) *ssaValue {
+					val := f.newValue(v, ssaDef, b, id.Pos())
+					val.stmt = s
+					if oneToOne {
+						val.rhs = s.Rhs[i]
+					} else {
+						val.tuple = true
+					}
+					return val
+				})
+			}
+		} else {
+			// Op-assign: x op= e reads x and e, then defines x.
+			rs.uses(s.Rhs[0], b)
+			lhs := s.Lhs[0]
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				prev := rs.useIdent(id, b, useRead)
+				def(id, func(v *types.Var) *ssaValue {
+					val := f.newValue(v, ssaDef, b, id.Pos())
+					val.stmt = s
+					val.opTok = arithToken(s.Tok)
+					val.prev = prev
+					val.opRhs = s.Rhs[0]
+					return val
+				})
+			} else {
+				rs.lvalueOpUses(lhs, b)
+			}
+		}
+
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			prev := rs.useIdent(id, b, useRead)
+			def(id, func(v *types.Var) *ssaValue {
+				val := f.newValue(v, ssaDef, b, id.Pos())
+				val.stmt = s
+				if s.Tok == token.INC {
+					val.opTok = token.ADD
+				} else {
+					val.opTok = token.SUB
+				}
+				val.prev = prev
+				return val
+			})
+		} else {
+			rs.lvalueOpUses(s.X, b)
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					rs.uses(val, b)
+				}
+				oneToOne := len(vs.Names) == len(vs.Values)
+				for i, name := range vs.Names {
+					i := i
+					def(name, func(v *types.Var) *ssaValue {
+						val := f.newValue(v, ssaDef, b, name.Pos())
+						val.stmt = s
+						if oneToOne {
+							val.rhs = vs.Values[i]
+						} else if len(vs.Values) == 0 {
+							val.kind = ssaZero
+						} else {
+							val.tuple = true
+						}
+						return val
+					})
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			rs.uses(res, b)
+		}
+		site := returnSite{stmt: s, block: b}
+		if len(s.Results) == 0 {
+			// A bare return reads every named result; snapshot the reaching
+			// versions for the return-fact summaries.
+			site.named = make([]*ssaValue, len(f.resultVars))
+			for i, v := range f.resultVars {
+				if v == nil || !f.tracked[v] {
+					continue
+				}
+				if cur := rs.top(v); cur != nil {
+					cur.realUses++
+					site.named[i] = cur
+				}
+			}
+		}
+		f.returns = append(f.returns, site)
+
+	case *ast.IfStmt:
+		rs.uses(s.Cond, b)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			rs.uses(s.Cond, b)
+		}
+	case *ast.RangeStmt:
+		rs.uses(s.X, b)
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			if val := f.useOf[id]; val != nil {
+				f.rangeXVal[s] = val
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			rs.uses(s.Tag, b)
+		}
+		// The CFG evaluates case expressions at the head block (they are
+		// never recorded as separate statements), so their reads resolve
+		// against the versions reaching the switch.
+		for _, e := range caseExprs(s.Body) {
+			rs.uses(e, b)
+		}
+	case *ast.TypeSwitchStmt:
+		if as, ok := s.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			rs.uses(as.Rhs[0], b)
+		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
+			rs.uses(es.X, b)
+		}
+	case *ast.SendStmt:
+		rs.uses(s.Chan, b)
+		rs.uses(s.Value, b)
+	case *ast.ExprStmt:
+		rs.uses(s.X, b)
+	case *ast.GoStmt:
+		rs.uses(s.Call, b)
+	case *ast.DeferStmt:
+		rs.uses(s.Call, b)
+	case *ast.LabeledStmt, *ast.BlockStmt, *ast.SelectStmt, *ast.EmptyStmt, *ast.BranchStmt:
+		// No shallow expressions.
+	}
+	return pushed
+}
+
+// caseExprs lists every case expression of an expression switch, in source
+// order. They all evaluate in the switch head block.
+func caseExprs(body *ast.BlockStmt) []ast.Expr {
+	var out []ast.Expr
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			out = append(out, cc.List...)
+		}
+	}
+	return out
+}
+
+// arithToken maps an op-assign token to its arithmetic op.
+func arithToken(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	}
+	return token.ILLEGAL
+}
+
+// shallowExprs lists the expressions a statement evaluates in the block the
+// CFG recorded it in — the same shallowness contract as the renaming walk:
+// compound statements contribute their head expressions only.
+func shallowExprs(st ast.Stmt) []ast.Expr {
+	var out []ast.Expr
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		out = append(out, s.Rhs...)
+		out = append(out, s.Lhs...)
+	case *ast.IncDecStmt:
+		out = append(out, s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		out = append(out, s.Results...)
+	case *ast.IfStmt:
+		out = append(out, s.Cond)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			out = append(out, s.Cond)
+		}
+	case *ast.RangeStmt:
+		out = append(out, s.X)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			out = append(out, s.Tag)
+		}
+		out = append(out, caseExprs(s.Body)...)
+	case *ast.TypeSwitchStmt:
+		if as, ok := s.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			out = append(out, as.Rhs[0])
+		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
+			out = append(out, es.X)
+		}
+	case *ast.SendStmt:
+		out = append(out, s.Chan, s.Value)
+	case *ast.ExprStmt:
+		out = append(out, s.X)
+	case *ast.GoStmt:
+		out = append(out, s.Call)
+	case *ast.DeferStmt:
+		out = append(out, s.Call)
+	}
+	return out
+}
+
+// uses resolves every tracked identifier under n to its current version.
+// Function literal subtrees are skipped: the variables they touch are
+// untracked by construction.
+func (rs *renameState) uses(n ast.Node, b *cfgBlock) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			rs.useIdent(x, b, useRead)
+		}
+		return true
+	})
+}
+
+// useIdent resolves one identifier use, recording the version and kind.
+func (rs *renameState) useIdent(id *ast.Ident, b *cfgBlock, kind useKind) *ssaValue {
+	v, _ := rs.f.pkg.Info.Uses[id].(*types.Var)
+	if v == nil || !rs.f.tracked[v] {
+		return nil
+	}
+	cur := rs.top(v)
+	if cur == nil {
+		return nil
+	}
+	rs.f.useOf[id] = cur
+	rs.f.kindOf[id] = kind
+	if rs.curStmt != nil {
+		rs.f.useStmt[id] = rs.curStmt
+	}
+	if kind == useRead {
+		cur.realUses++
+	}
+	return cur
+}
+
+// lvalueUses walks a non-ident assignment target: the base of a direct
+// slice-element store is classified useElemStore; every other identifier in
+// the target (indexes, nested bases, pointers) is a read.
+func (rs *renameState) lvalueUses(lhs ast.Expr, b *cfgBlock) {
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if id, ok := ast.Unparen(ix.X).(*ast.Ident); ok {
+			if tv, ok := rs.f.pkg.Info.Types[ix.X]; ok && tv.Type != nil {
+				if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+					rs.useIdent(id, b, useElemStore)
+					rs.uses(ix.Index, b)
+					return
+				}
+			}
+		}
+	}
+	rs.uses(lhs, b)
+}
+
+// lvalueOpUses walks a non-ident op-assign target (buf[i] += v): the base is
+// read and written; classify everything as reads.
+func (rs *renameState) lvalueOpUses(lhs ast.Expr, b *cfgBlock) {
+	rs.uses(lhs, b)
+}

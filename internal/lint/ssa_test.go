@@ -1,0 +1,292 @@
+package lint
+
+// Structural tests for the SSA-lite layer: phi placement at joins and loop
+// heads across if/for/range/switch, and def-use resolution through
+// shadowing. Fixtures are type-checked through the same loader the
+// analyzers use, so tracked-variable classification is exercised too.
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildTestSSA type-checks src (a complete file) and lowers the function
+// named f.
+func buildTestSSA(t *testing.T, src string) (*Package, *ssaFunc) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoaderAt(dir, "tmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir, "tmod")
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v\n%s", err, src)
+	}
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+				sf := buildSSA(pkg, fd)
+				if sf == nil {
+					t.Fatal("buildSSA returned nil")
+				}
+				return pkg, sf
+			}
+		}
+	}
+	t.Fatal("no function named f in fixture")
+	return nil, nil
+}
+
+// phisFor collects every phi placed for a variable with the given name.
+func phisFor(f *ssaFunc, name string) []*ssaValue {
+	var out []*ssaValue
+	for _, b := range f.rpo {
+		for _, p := range f.phis[b] {
+			if p.obj.Name() == name {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// usesOf collects the versions read by each use-ident with the given name,
+// restricted to useRead sites.
+func usesOf(f *ssaFunc, name string) []*ssaValue {
+	var out []*ssaValue
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if v := f.useOf[id]; v != nil && f.kindOf[id] == useRead {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestSSAPhiAtIfJoin(t *testing.T) {
+	_, f := buildTestSSA(t, `package p
+
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}
+`)
+	phis := phisFor(f, "x")
+	if len(phis) != 1 {
+		t.Fatalf("got %d phis for x, want 1 at the if join", len(phis))
+	}
+	if n := len(phis[0].phiArgs); n != 2 {
+		t.Fatalf("join phi has %d args, want 2 (one per arm)", n)
+	}
+	for _, a := range phis[0].phiArgs {
+		if a.kind != ssaDef {
+			t.Errorf("phi arg kind = %v, want ssaDef", a.kind)
+		}
+	}
+	// The return must read the phi, not either arm's definition.
+	uses := usesOf(f, "x")
+	if len(uses) != 1 || uses[0] != phis[0] {
+		t.Fatalf("return reads %v, want the join phi", uses)
+	}
+}
+
+func TestSSANoPhiWithoutBranchAssign(t *testing.T) {
+	_, f := buildTestSSA(t, `package p
+
+func f(c bool) int {
+	x := 7
+	y := 0
+	if c {
+		y = 1
+	}
+	_ = y
+	return x
+}
+`)
+	if phis := phisFor(f, "x"); len(phis) != 0 {
+		t.Fatalf("x is single-assignment, got %d phis", len(phis))
+	}
+	if phis := phisFor(f, "y"); len(phis) != 1 {
+		t.Fatalf("y merges at the join, got %d phis", len(phis))
+	}
+}
+
+func TestSSAPhiAtForLoopHead(t *testing.T) {
+	_, f := buildTestSSA(t, `package p
+
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + i
+	}
+	return s
+}
+`)
+	phis := phisFor(f, "s")
+	if len(phis) != 1 {
+		t.Fatalf("got %d phis for s, want 1 at the loop head", len(phis))
+	}
+	head := phis[0].block
+	if !f.inLoop[head] {
+		t.Fatal("the phi's block must sit on the loop cycle")
+	}
+	// One arg flows in from before the loop, one around the back edge; the
+	// back-edge arg is the body's definition.
+	if n := len(phis[0].phiArgs); n != 2 {
+		t.Fatalf("loop phi has %d args, want 2 (entry and back edge)", n)
+	}
+	// The body's s = s + i reads the phi (loop-carried).
+	readsPhi := false
+	for _, u := range usesOf(f, "s") {
+		if u == phis[0] {
+			readsPhi = true
+		}
+	}
+	if !readsPhi {
+		t.Fatal("the loop body must read the loop-carried phi")
+	}
+}
+
+func TestSSAPhiAtRangeHead(t *testing.T) {
+	_, f := buildTestSSA(t, `package p
+
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+`)
+	phis := phisFor(f, "s")
+	if len(phis) != 1 {
+		t.Fatalf("got %d phis for s, want 1 at the range head", len(phis))
+	}
+	// The range binding v is a fresh per-iteration value; the head also
+	// carries a (read-free) phi for it, but reads must resolve to the
+	// binding itself.
+	vVals := []*ssaValue{}
+	for _, v := range f.values {
+		if v.obj.Name() == "v" && v.kind == ssaRange {
+			vVals = append(vVals, v)
+		}
+	}
+	if len(vVals) != 1 {
+		t.Fatalf("got %d ssaRange values for v, want 1", len(vVals))
+	}
+	// Its use inside the body resolves to the binding.
+	uses := usesOf(f, "v")
+	if len(uses) != 1 || uses[0] != vVals[0] {
+		t.Fatalf("s += v reads %v, want the range binding", uses)
+	}
+}
+
+func TestSSAPhiAtSwitchJoin(t *testing.T) {
+	_, f := buildTestSSA(t, `package p
+
+func f(k, y int) int {
+	x := 0
+	switch k {
+	case 1:
+		x = 1
+	case y:
+		x = 2
+	}
+	return x
+}
+`)
+	phis := phisFor(f, "x")
+	if len(phis) != 1 {
+		t.Fatalf("got %d phis for x, want 1 after the switch", len(phis))
+	}
+	// Two case bodies plus the no-default skip edge.
+	if n := len(phis[0].phiArgs); n != 3 {
+		t.Fatalf("switch join phi has %d args, want 3", n)
+	}
+	// Case expressions evaluate in the head block: the `case y` read must
+	// resolve to y's parameter version.
+	uses := usesOf(f, "y")
+	if len(uses) != 1 || uses[0].kind != ssaParam {
+		t.Fatalf("case y reads %v, want the parameter version", uses)
+	}
+}
+
+func TestSSAShadowedDefUse(t *testing.T) {
+	pkg, f := buildTestSSA(t, `package p
+
+func f(c bool) int {
+	x := 1
+	if c {
+		x := 2
+		_ = x
+	}
+	return x
+}
+`)
+	// Two distinct objects named x; each use resolves to a version of its
+	// own object. The inner x's join-block frontier phi is permitted (it is
+	// never read), but the OUTER x must not merge: shadowing is not an
+	// assignment.
+	uses := usesOf(f, "x")
+	if len(uses) != 2 {
+		t.Fatalf("got %d reads of x, want 2 (_ = x and return x)", len(uses))
+	}
+	if uses[0].obj == uses[1].obj {
+		t.Fatal("inner and outer x must resolve to distinct objects")
+	}
+	outer := uses[1].obj // AST order: the return reads the outer x
+	for _, p := range phisFor(f, "x") {
+		if p.obj == outer {
+			t.Fatal("shadowing must not place a phi for the outer x")
+		}
+	}
+	litOf := func(v *ssaValue) string {
+		if bl, ok := ast.Unparen(v.rhs).(*ast.BasicLit); ok {
+			return bl.Value
+		}
+		return "?"
+	}
+	// AST order visits the inner use first.
+	if litOf(uses[0]) != "2" || litOf(uses[1]) != "1" {
+		t.Fatalf("def-use chain crossed the shadow: inner reads %s, outer reads %s",
+			litOf(uses[0]), litOf(uses[1]))
+	}
+	_ = pkg
+}
+
+func TestSSABareReturnSnapshotsNamedResults(t *testing.T) {
+	_, f := buildTestSSA(t, `package p
+
+func f(n int) (out int) {
+	out = n
+	return
+}
+`)
+	if len(f.returns) != 1 {
+		t.Fatalf("got %d return sites, want 1", len(f.returns))
+	}
+	site := f.returns[0]
+	if len(site.named) != 1 || site.named[0] == nil {
+		t.Fatalf("bare return snapshot = %v, want the reaching version of out", site.named)
+	}
+	if site.named[0].kind != ssaDef {
+		t.Fatalf("snapshot kind = %v, want the ssaDef from out = n", site.named[0].kind)
+	}
+}
+
+// keep imports honest if assertions above change shape
+var _ = token.NoPos

@@ -212,6 +212,9 @@ type moduleFacts struct {
 	facts      map[*types.Func]*funcFacts
 	// order lists the functions in deterministic (position) order.
 	order []*types.Func
+	// va is the lazily-built value-dataflow layer (valuefacts.go), shared
+	// by the value rules of one run.
+	va *valueAnalysis
 }
 
 // buildModuleFacts runs the intraprocedural collector over every function

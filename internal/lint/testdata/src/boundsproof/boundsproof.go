@@ -1,0 +1,78 @@
+// Package boundsproof exercises index containment proofs for computed
+// indexes in hot loops.
+package boundsproof
+
+// etaWalk is the seeded regression: an off-by-one eta-file walk that
+// reads one past the end on the final iteration.
+func etaWalk(eta []float64) float64 {
+	var s float64
+	for i := 0; i < len(eta); i++ {
+		s += eta[i+1] // want `unproven index: i \+ 1`
+	}
+	return s
+}
+
+// etaWalkFixed shifts the counter: i-1 lands in [0, len(eta)-1].
+func etaWalkFixed(eta []float64) float64 {
+	var s float64
+	for i := 1; i <= len(eta); i++ {
+		s += eta[i-1]
+	}
+	return s
+}
+
+// lookahead: the loop bound itself proves the +1 access.
+func lookahead(xs []float64) float64 {
+	var s float64
+	for i := 0; i+1 < len(xs); i++ {
+		s += xs[i+1]
+	}
+	return s
+}
+
+// strided: the engine cannot bound i+stride (stride is a free parameter),
+// so the site carries a reasoned allow.
+func strided(xs []float64, stride int) float64 {
+	var s float64
+	for i := 0; i+stride < len(xs); i += stride {
+		s += xs[i+stride] //raslint:allow boundsproof the loop condition re-checks i+stride each iteration and callers validate stride > 0
+	}
+	return s
+}
+
+// outsideLoop: arithmetic indexes outside loops are out of the rule's
+// scope.
+func outsideLoop(xs []float64, i int) float64 {
+	if i >= 0 && i+1 < len(xs) {
+		return xs[i+1]
+	}
+	return 0
+}
+
+// plainIndex: non-arithmetic indexes are a documented false negative.
+func plainIndex(xs []float64, idx int) float64 {
+	var s float64
+	for k := 0; k < 4; k++ {
+		s += xs[idx]
+	}
+	return s
+}
+
+// constArray: static array lengths bound the proof without a len symbol.
+func constArray() int {
+	var tab [8]int
+	s := 0
+	for i := 0; i < 8; i++ {
+		s += tab[i+1] // want `unproven index: i \+ 1`
+	}
+	return s
+}
+
+func constArrayFixed() int {
+	var tab [8]int
+	s := 0
+	for i := 0; i < 7; i++ {
+		s += tab[i+1]
+	}
+	return s
+}

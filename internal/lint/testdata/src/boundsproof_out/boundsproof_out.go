@@ -1,0 +1,11 @@
+// Package boundsproofout holds boundsproof-shaped sites under an import
+// path outside the solve stack: the rule must stay silent here.
+package boundsproofout
+
+func EtaWalk(eta []float64) float64 {
+	var s float64
+	for i := 0; i < len(eta); i++ {
+		s += eta[i+1]
+	}
+	return s
+}

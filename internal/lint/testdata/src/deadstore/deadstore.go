@@ -1,0 +1,90 @@
+// Package deadstore exercises scalar liveness and workspace-buffer
+// element-store reachability.
+package deadstore
+
+// overwrittenBeforeRead: the first assignment's value is never read.
+func overwrittenBeforeRead(n int) int {
+	x := n * 2 // want `dead store: the value assigned to x`
+	x = n + 1
+	return x
+}
+
+// cascade: x's only definition feeds nothing, and y feeds only that dead
+// definition, so the deadness cascades.
+func cascade(n int) int {
+	y := n + 1 // want `dead store: the value assigned to y`
+	x := y * 2 // want `dead store: the value assigned to x`
+	x = 7
+	return x
+}
+
+// chainFeeds: each definition reaches a read; nothing is reported.
+func chainFeeds(n int) int {
+	x := n
+	x = x + 1
+	return x
+}
+
+// effectfulRHS: the overwritten definition's RHS is a call, so dead-store
+// elimination keeps the evaluation; its read of x anchors the first
+// definition (line 32 is live, not a cascade), while the call's own
+// assigned value is still a dead store.
+func effectfulRHS(n int) int {
+	x := n + 3
+	x = advance(x) // want `dead store: the value assigned to x`
+	x = 7
+	return x
+}
+
+func advance(x int) int { return x + 1 }
+
+// loopCarried: the phi at the loop head keeps the pre-loop definition and
+// every iteration's update live.
+func loopCarried(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + i
+	}
+	return s
+}
+
+// namedResult: a bare return snapshots named results, so the assignment
+// is live.
+func namedResult(n int) (out int) {
+	out = n
+	return
+}
+
+// staleWorkspace is the seeded regression: the reset loop clears a
+// function-owned scratch buffer that nothing reads before the function
+// returns — callers keep consuming the previous iteration's values.
+func staleWorkspace(n int) int {
+	work := make([]float64, n)
+	count := 0
+	for i := 0; i < n; i++ {
+		work[i] = 0 // want `dead store: no read of work`
+		count++
+	}
+	return count
+}
+
+// workspaceRead: the same shape with a consuming pass is silent.
+func workspaceRead(n int) float64 {
+	work := make([]float64, n)
+	for i := 0; i < n; i++ {
+		work[i] = float64(i)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += work[i]
+	}
+	return s
+}
+
+// escapedBuffer: a parameter aliases caller memory, so element stores are
+// never dead from this function's point of view.
+func escapedBuffer(work []float64) {
+	for i := 0; i < len(work); i++ {
+		work[i] = 0
+	}
+}

@@ -1,0 +1,17 @@
+// Package deadstoreout holds deadstore-shaped sites under an import path
+// outside the solve stack: the rule must stay silent here.
+package deadstoreout
+
+func Overwritten(n int) int {
+	x := n * 2
+	x = n + 1
+	return x
+}
+
+func StaleScratch(n int) int {
+	work := make([]float64, n)
+	for i := 0; i < n; i++ {
+		work[i] = 0
+	}
+	return n
+}

@@ -1,0 +1,13 @@
+// Package nanguardout holds nanguard-shaped sites under an import path
+// outside the solve stack: the rule must stay silent here.
+package nanguardout
+
+import "math"
+
+func Ratio(a, b float64) float64 {
+	return a / b
+}
+
+func Spread(x float64) float64 {
+	return math.Sqrt(x) + math.Log(x)
+}

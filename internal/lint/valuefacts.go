@@ -1,0 +1,251 @@
+package lint
+
+// Interprocedural value facts riding the summary engine's call graph
+// (summary.go). Where effectSummary answers "what does this function
+// write", the return facts here answer "what can its results be assumed to
+// be": proven-nonzero / proven-positive / proven-nonnegative floats, and
+// integer results proven within [0, len(param)) for a specific parameter.
+// Callee facts feed the per-function evaluator (interval.go), which is what
+// lets a pivot accessor guard one division site for every caller, and a
+// findCol-style index lookup prove the indexing at its call sites.
+//
+// The fixpoint is increasing: facts start empty and a round re-proves every
+// function's return sites against the facts established so far, repeating
+// until nothing new is proven. Proofs only ever consume established facts,
+// so every intermediate state is sound; mutual recursion simply converges
+// to "no facts". Evaluator caches are rebuilt each round because memoized
+// intervals embed the previous round's callee facts.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// resultFact is what is proven about one result of one function, over every
+// reachable return site.
+type resultFact struct {
+	nonzero  bool // float: != 0 on every return
+	positive bool // float: > 0 on every return
+	nonneg   bool // float: >= 0 on every return
+	// ltLenOf, when >= 0, names the paramVars index P (receiver first) such
+	// that the result is proven within [0, len(P)) on every return; -1
+	// otherwise.
+	ltLenOf int
+}
+
+// returnFacts carries one fact per signature result.
+type returnFacts struct {
+	results []resultFact
+}
+
+// valueAnalysis is the module-wide value-dataflow state: SSA form per
+// function plus the post-fixpoint return facts. Built lazily by the first
+// value rule in a run and shared by the rest (module analyzers run
+// serially).
+type valueAnalysis struct {
+	mf      *moduleFacts
+	helpers map[string]bool
+	ssa     map[*types.Func]*ssaFunc
+	ret     map[*types.Func]*returnFacts
+	// evals caches one evaluator per function for rule-time queries, built
+	// against the final fact table.
+	evals map[*types.Func]*evaluator
+}
+
+// valueAnalysisFor returns the run's shared value analysis, building it on
+// first use.
+func (mf *moduleFacts) valueAnalysisFor(cfg *Config) *valueAnalysis {
+	if mf.va == nil {
+		mf.va = newValueAnalysis(mf, cfg)
+	}
+	return mf.va
+}
+
+func newValueAnalysis(mf *moduleFacts, cfg *Config) *valueAnalysis {
+	va := &valueAnalysis{
+		mf:      mf,
+		helpers: cfg.floatcmpHelpers(),
+		ssa:     map[*types.Func]*ssaFunc{},
+		ret:     map[*types.Func]*returnFacts{},
+		evals:   map[*types.Func]*evaluator{},
+	}
+	for _, fn := range mf.order {
+		node := mf.graph.nodes[fn]
+		if node == nil || node.decl == nil || node.decl.Body == nil {
+			continue
+		}
+		va.ssa[fn] = buildSSA(node.pkg, node.decl)
+	}
+	va.computeReturnFacts()
+	return va
+}
+
+// evaluatorFor returns the rule-time evaluator of fn, nil when fn has no
+// SSA form.
+func (va *valueAnalysis) evaluatorFor(fn *types.Func) *evaluator {
+	if ev, ok := va.evals[fn]; ok {
+		return ev
+	}
+	f := va.ssa[fn]
+	if f == nil {
+		va.evals[fn] = nil
+		return nil
+	}
+	ev := newEvaluator(va, f)
+	va.evals[fn] = ev
+	return ev
+}
+
+// ssaOf returns fn's SSA form, nil when unavailable.
+func (va *valueAnalysis) ssaOf(fn *types.Func) *ssaFunc {
+	return va.ssa[fn]
+}
+
+// computeReturnFacts iterates return-site proofs to a fixpoint.
+func (va *valueAnalysis) computeReturnFacts() {
+	const maxRounds = 10
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fn := range va.mf.order {
+			f := va.ssa[fn]
+			if f == nil {
+				continue
+			}
+			rf := va.proveFn(fn, f)
+			if rf == nil {
+				continue
+			}
+			old := va.ret[fn]
+			if old == nil || factsGrew(old, rf) {
+				va.ret[fn] = rf
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// factsGrew reports whether new establishes a fact old lacked.
+func factsGrew(old, new *returnFacts) bool {
+	for i := range new.results {
+		if i >= len(old.results) {
+			return true
+		}
+		o, n := old.results[i], new.results[i]
+		if (n.nonzero && !o.nonzero) || (n.positive && !o.positive) ||
+			(n.nonneg && !o.nonneg) || (n.ltLenOf >= 0 && o.ltLenOf < 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// proveFn proves fn's per-result facts over every reachable return site,
+// against the current fact table.
+func (va *valueAnalysis) proveFn(fn *types.Func, f *ssaFunc) *returnFacts {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 || len(f.returns) == 0 {
+		return nil
+	}
+	nRes := sig.Results().Len()
+	params := paramVars(fn)
+
+	rf := &returnFacts{results: make([]resultFact, nRes)}
+	for i := range rf.results {
+		rf.results[i] = resultFact{nonzero: true, positive: true, nonneg: true, ltLenOf: -2}
+	}
+	// A fresh evaluator each call: memoized intervals embed callee facts
+	// from the round they were computed in.
+	ev := newEvaluator(va, f)
+
+	for _, site := range f.returns {
+		for i := 0; i < nRes; i++ {
+			res := &rf.results[i]
+			var expr ast.Expr
+			var val *ssaValue
+			switch {
+			case len(site.stmt.Results) == nRes:
+				expr = site.stmt.Results[i]
+			case len(site.stmt.Results) == 0 && i < len(site.named):
+				val = site.named[i]
+			}
+			rt := sig.Results().At(i).Type()
+			if isFloat(rt) {
+				nz, pos, nn := va.proveFloatSite(ev, expr, val, site.block)
+				res.nonzero = res.nonzero && nz
+				res.positive = res.positive && pos
+				res.nonneg = res.nonneg && nn
+				res.ltLenOf = -1
+				continue
+			}
+			res.nonzero, res.positive, res.nonneg = false, false, false
+			if bt, okB := rt.Underlying().(*types.Basic); okB && bt.Info()&types.IsInteger != 0 {
+				p := va.proveLtLenSite(ev, f, params, expr, val, site.block)
+				switch {
+				case res.ltLenOf == -2:
+					res.ltLenOf = p
+				case res.ltLenOf != p:
+					res.ltLenOf = -1
+				}
+			} else {
+				res.ltLenOf = -1
+			}
+		}
+	}
+	for i := range rf.results {
+		if rf.results[i].ltLenOf == -2 {
+			rf.results[i].ltLenOf = -1
+		}
+	}
+	return rf
+}
+
+// proveFloatSite proves the three float facts for one returned value at one
+// site.
+func (va *valueAnalysis) proveFloatSite(ev *evaluator, expr ast.Expr, val *ssaValue, b *cfgBlock) (nz, pos, nn bool) {
+	switch {
+	case expr != nil:
+		return ev.provenNonzero(expr, b, 0), ev.provenPositive(expr, b, 0), ev.provenNonNeg(expr, b, 0)
+	case val != nil:
+		nz = ev.provenFactValue(val, factNonzero, b, 0)
+		pos = ev.provenFactValue(val, factPositive, b, 0)
+		nn = ev.provenFactValue(val, factNonNeg, b, 0)
+		return nz || pos, pos, nn || pos
+	}
+	return false, false, false
+}
+
+// proveLtLenSite proves a returned integer within [0, len(param)) and
+// resolves which parameter, -1 when unproven.
+func (va *valueAnalysis) proveLtLenSite(ev *evaluator, f *ssaFunc, params []*types.Var, expr ast.Expr, val *ssaValue, b *cfgBlock) int {
+	var iv interval
+	switch {
+	case expr != nil:
+		var pend bool
+		iv, pend = ev.exprInterval(expr, b, 0)
+		if pend {
+			return -1
+		}
+	case val != nil:
+		iv = ev.useInterval(val, b, 0)
+	default:
+		return -1
+	}
+	if !loGEZero(iv.lo) {
+		return -1
+	}
+	if iv.hi.inf || iv.hi.lenOf == nil || iv.hi.c > -1 {
+		return -1
+	}
+	// The length symbol must be the entry version of a parameter: its
+	// length is then the caller's argument length.
+	sym := iv.hi.lenOf
+	for pi, p := range params {
+		if f.entryVals[p] == sym {
+			return pi
+		}
+	}
+	return -1
+}

@@ -74,7 +74,7 @@ func (c Config) withDefaults(region *topology.Region) Config {
 		c.Candidates = 48
 	}
 	if exactZero(c.AlphaMSB) {
-		c.AlphaMSB = clamp(1.5/float64(maxInt(region.NumMSBs, 1)), 0.05, 1)
+		c.AlphaMSB = clamp(1.5/float64(max(region.NumMSBs, 1)), 0.05, 1)
 	}
 	if exactZero(c.Beta) {
 		c.Beta = 3
@@ -582,11 +582,4 @@ func clamp(x, lo, hi float64) float64 {
 		return hi
 	}
 	return x
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -247,7 +247,7 @@ func (f *factor) factorize(cols [][]Nonzero, basis []int) (deficient []int) {
 		j := done
 		f.pr[j] = pivRow
 		f.ps[j] = cs
-		f.invP[j] = 1 / pivVal
+		f.invP[j] = 1 / pivVal //raslint:allow nanguard pivVal passed the Markowitz screen |v| >= pivRelTol*colMax with colMax >= pivAbsTol, so it is nonzero
 		ue := f.ucols[j][:0]
 		le := f.lops[j].nz[:0]
 		for _, nz := range col {
@@ -382,7 +382,7 @@ func (f *factor) markColumnInactive(s int) {
 // slot r, where w = FTRAN(entering column) and wnz lists w's nonzero slots.
 // The caller has already verified |w[r]| is numerically safe.
 func (f *factor) update(r int, w []float64, wnz []int) {
-	invP := 1 / w[r]
+	invP := 1 / w[r] //raslint:allow nanguard precondition: the caller has verified |w[r]| against the pivot tolerance before calling update
 	var nz []Nonzero
 	if n := len(f.etas); n < cap(f.etas) {
 		// Reuse the retired eta's entry slice to avoid steady-state growth.

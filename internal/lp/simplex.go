@@ -27,6 +27,11 @@ const defaultDevexAfter = 1500
 // which guarantees termination at the cost of speed.
 const blandAfter = 400
 
+// minPivotStep floors the ratio-test pivot threshold: steps smaller than
+// this are numerically meaningless even when opt.Tol is configured to zero,
+// and dividing by them would overflow the ratio toward ±Inf.
+const minPivotStep = 1e-30
+
 // optimize runs primal simplex iterations minimizing cost over the first
 // priceLimit columns (columns at or beyond priceLimit never enter). It
 // returns Optimal, Unbounded, or IterLimit.
@@ -123,7 +128,10 @@ func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
 					if viol <= s.opt.Tol {
 						continue
 					}
-					score := viol * viol / gamma[j]
+					// Devex weights are 1 at reset and only ever grow or
+					// re-floor at 1 (devexUpdate), so the max is an
+					// identity that carries the nonzero proof.
+					score := viol * viol / max(gamma[j], 1)
 					if enter == -1 || score > enterScore {
 						enter, enterScore = j, score
 					}
@@ -161,7 +169,9 @@ func (s *Workspace) optimize(cost []float64, priceLimit int) Status {
 		tMax := s.up[enter] - s.lo[enter] // bound-flip distance (may be +Inf)
 		leave := -1
 		leaveToUpper := false
-		piv := s.opt.Tol * 10
+		// The positive floor keeps the pivot threshold meaningful when Tol is
+		// zero and lets the ratio-test divisions carry a step≷±piv proof.
+		piv := max(s.opt.Tol*10, minPivotStep)
 		for _, i := range s.wnz {
 			step := -sigma * w[i]
 			if step > piv { // basic value increases toward its upper bound
@@ -398,7 +408,7 @@ func (s *Workspace) dualSimplex(cost []float64) Status {
 			}
 			// Admissible directions: see package docs. The leaving value
 			// changes by -Δq·alpha; Δq ≥ 0 for atLower, ≤ 0 for atUpper.
-			ok := false
+			var ok bool
 			if !s.atUp[j] { // can increase: Δq ≥ 0 → change = -alpha·Δq
 				ok = (below && alpha < 0) || (!below && alpha > 0)
 			} else { // can decrease: Δq ≤ 0 → change = +alpha·|Δq|
@@ -422,7 +432,7 @@ func (s *Workspace) dualSimplex(cost []float64) Status {
 
 		// Pivot: move entering by Δq so the leaving variable hits target.
 		s.wnz = s.fact.ftran(w, s.cols[enter], s.wnz)
-		dq := (s.x[s.basis[leave]] - target) / alphaQ
+		dq := (s.x[s.basis[leave]] - target) / alphaQ //raslint:allow nanguard alphaQ was recorded together with enter behind the |alpha| >= 1e-9 screen, and enter == -1 returned above
 		for _, i := range s.wnz {
 			s.x[s.basis[i]] -= dq * w[i]
 		}
@@ -494,7 +504,10 @@ func (s *Workspace) repairBasis(deficient []int) {
 // lists are nearly always length 1, never large).
 func sortInts(xs []int) {
 	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+		for j := i; j > 0; j-- {
+			if xs[j] >= xs[j-1] {
+				break
+			}
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}

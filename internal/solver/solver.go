@@ -998,7 +998,7 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 	if r.Status == mip.Optimal || r.Status == mip.Feasible || r.Status == mip.Cancelled {
 		out.stats.Objective = r.Objective
 		out.stats.Bound = r.Bound
-		out.stats.GapPreemptions = r.Gap() / cfg.MoveCostInUse
+		out.stats.GapPreemptions = r.Gap() / cfg.MoveCostInUse //raslint:allow nanguard withDefaults floors MoveCostInUse at 10 when zero; struct fields are outside SSA tracking
 		counts := make([][]float64, nG)
 		for gi := range out.groups {
 			counts[gi] = make([]float64, nS)
@@ -1226,11 +1226,4 @@ func clamp(x, lo, hi float64) float64 {
 		return hi
 	}
 	return x
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
