@@ -37,11 +37,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# End-to-end smoke runs on a synthetic region: the parallel MIP, then the
-# partitioned backend (k sub-solves dividing the same worker budget).
+# End-to-end smoke runs on a synthetic region: the parallel MIP, the
+# partitioned backend (k sub-solves dividing the same worker budget), and a
+# multi-round simulation that must exercise both the model-cache patch path
+# and — via the -grow-hour structural delta — the fallback rebuild path.
 smoke:
 	$(GO) run ./cmd/rassolve -synthetic -workers 4 -time-limit 10s >/dev/null
 	$(GO) run ./cmd/rassolve -synthetic -backend pop -partitions 4 -workers 4 -time-limit 10s >/dev/null
+	$(GO) run ./cmd/rassim -days 1 -dcs 2 -msbs 2 -racks 4 -servers 4 -grow-hour 6 -require-cache -q >/dev/null
 
 # Solver/backend benchmarks (ablations + backend comparison).
 bench:
@@ -51,14 +54,14 @@ bench:
 # The raw Go benchmark lines are preserved under "benchfmt_lines"; extract
 # them with jq for benchstat comparisons against a later run.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkBackend' -benchtime 3x -count 1 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkBackend|BenchmarkRoundIncremental' -benchtime 3x -count 1 . \
 		| $(GO) run ./cmd/benchjson > BENCH_solver.json
 	@echo "wrote BENCH_solver.json"
 
 # Diff a fresh benchmark run against the committed baseline and print
 # per-metric deltas (informational: absolute numbers are machine-dependent).
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkBackend' -benchtime 3x -count 1 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkBackend|BenchmarkRoundIncremental' -benchtime 3x -count 1 . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_solver.json
 
 # CI variant: a single iteration of the serial MIP bench, still piped through

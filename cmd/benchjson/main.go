@@ -40,13 +40,14 @@ type Bench struct {
 
 // Baseline is the full converted report.
 type Baseline struct {
-	Goos          string     `json:"goos,omitempty"`
-	Goarch        string     `json:"goarch,omitempty"`
-	Pkg           string     `json:"pkg,omitempty"`
-	CPU           string     `json:"cpu,omitempty"`
-	Benchmarks    []Bench    `json:"benchmarks"`
-	POPKSweep     []POPSweep `json:"pop_ksweep,omitempty"`
-	BenchfmtLines []string   `json:"benchfmt_lines"`
+	Goos          string            `json:"goos,omitempty"`
+	Goarch        string            `json:"goarch,omitempty"`
+	Pkg           string            `json:"pkg,omitempty"`
+	CPU           string            `json:"cpu,omitempty"`
+	Benchmarks    []Bench           `json:"benchmarks"`
+	POPKSweep     []POPSweep        `json:"pop_ksweep,omitempty"`
+	RoundIncr     *RoundIncremental `json:"round_incremental,omitempty"`
+	BenchfmtLines []string          `json:"benchfmt_lines"`
 }
 
 // POPSweep is one row of the derived partitioned-backend ablation: the pop
@@ -60,6 +61,21 @@ type POPSweep struct {
 	Speedup           float64 `json:"speedup_vs_mip"`
 	Objective         float64 `json:"objective"`
 	ObjectiveDeltaPct float64 `json:"objective_delta_pct"`
+}
+
+// RoundIncremental is the derived incremental-model-build summary: the
+// multi-round steady-state benchmark (BenchmarkRoundIncremental) with broker
+// deltas feeding the solver's model cache (mode=patch) against the same
+// mutation stream rebuilt cold every round (mode=cold). BuildSpeedup is the
+// cold model-build time over the patch time — the ISSUE's ≥5× target —
+// and ObjectiveDelta must be 0: patching is only taken when the patched
+// model is bit-for-bit identical to a rebuild.
+type RoundIncremental struct {
+	PatchBuildNs   float64 `json:"patch_build_ns"`
+	ColdBuildNs    float64 `json:"cold_build_ns"`
+	BuildSpeedup   float64 `json:"build_speedup"`
+	PatchRounds    float64 `json:"patch_rounds_frac"`
+	ObjectiveDelta float64 `json:"objective_delta"`
 }
 
 func main() {
@@ -105,6 +121,7 @@ func main() {
 		return
 	}
 	out.POPKSweep = derivePOPKSweep(out.Benchmarks)
+	out.RoundIncr = deriveRoundIncremental(out.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
@@ -205,6 +222,34 @@ func derivePOPKSweep(benches []Bench) []POPSweep {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Partitions < rows[j].Partitions })
 	return rows
+}
+
+// deriveRoundIncremental pairs BenchmarkRoundIncremental's patch and cold
+// modes into the incremental-build summary. Returns nil when either mode is
+// absent (filtered bench run).
+func deriveRoundIncremental(benches []Bench) *RoundIncremental {
+	var patch, cold *Bench
+	for i := range benches {
+		switch trimProcs(benches[i].Name) {
+		case "BenchmarkRoundIncremental/mode=patch":
+			patch = &benches[i]
+		case "BenchmarkRoundIncremental/mode=cold":
+			cold = &benches[i]
+		}
+	}
+	if patch == nil || cold == nil {
+		return nil
+	}
+	r := &RoundIncremental{
+		PatchBuildNs:   patch.Metrics["buildns/op"],
+		ColdBuildNs:    cold.Metrics["buildns/op"],
+		PatchRounds:    patch.Metrics["patchrounds/op"],
+		ObjectiveDelta: patch.Metrics["objective"] - cold.Metrics["objective"],
+	}
+	if r.PatchBuildNs > 0 {
+		r.BuildSpeedup = r.ColdBuildNs / r.PatchBuildNs
+	}
+	return r
 }
 
 // trimProcs strips the "-N" GOMAXPROCS suffix go test appends to benchmark

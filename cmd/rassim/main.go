@@ -22,6 +22,7 @@ import (
 
 	"ras"
 	"ras/internal/backend"
+	"ras/internal/metrics"
 	"ras/internal/sim"
 	"ras/internal/workload"
 )
@@ -45,6 +46,10 @@ func main() {
 			"solver backend for the hourly rounds ("+strings.Join(backend.Names(), ", ")+")")
 		partitions = flag.Int("partitions", 0,
 			"pop backend: sub-region count k (0 = default; other backends ignore it)")
+		growHour = flag.Int("grow-hour", -1,
+			"virtual hour at which one extra reservation arrives (-1 disables); a mid-run create exercises the model cache's structural fallback")
+		requireCache = flag.Bool("require-cache", false,
+			"exit nonzero unless the run exercised both the model-cache patch path and the fallback-rebuild path")
 	)
 	flag.Parse()
 	logger := log.New(os.Stdout, "", 0)
@@ -120,6 +125,25 @@ func main() {
 		}
 	})
 
+	// Mid-run growth: a new reservation is a structural delta, so the next
+	// hourly solve must fall back to a cold model rebuild while steady-state
+	// hours keep patching.
+	if *growHour >= 0 {
+		engine.At(sim.Time(*growHour)*sim.Hour, func(now sim.Time) {
+			req := gen.Next()
+			req.RRUs = per / 2
+			req.CountBased = true
+			req.EligibleTypes = nil
+			id, err := sys.CreateReservation(req)
+			if err != nil {
+				logger.Printf("[%s] growth request failed: %v", clock(now), err)
+				return
+			}
+			logger.Printf("[%s] growth: new reservation %d (%s, %.0f RRUs)",
+				clock(now), id, req.Name, req.RRUs)
+		})
+	}
+
 	// The correlated-failure drill.
 	if *failMSB >= 0 && *failDay <= *days {
 		at := sim.Time(*failDay) * sim.Day
@@ -150,6 +174,15 @@ func main() {
 	planned, unplanned := sys.Broker().UnavailableCount()
 	logger.Printf("final unavailability: %d planned, %d unplanned of %d servers",
 		planned, unplanned, len(region.Servers))
+	hits := metrics.Solver.ModelPatchHits.Value()
+	misses := metrics.Solver.ModelPatchMisses.Value()
+	falls := metrics.Solver.FallbackRebuilds.Value()
+	logger.Printf("model cache: patch_hits=%d patch_misses=%d fallback_rebuilds=%d",
+		hits, misses, falls)
+	if *requireCache && (hits == 0 || falls == 0) {
+		logger.Printf("FAIL: -require-cache wants patch_hits>0 and fallback_rebuilds>0")
+		os.Exit(1)
+	}
 }
 
 func clock(t sim.Time) string {

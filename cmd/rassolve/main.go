@@ -271,6 +271,8 @@ func printCounters(w io.Writer) {
 		s.Solves.Value(), s.WorkersUsed.Value(), s.NodesExplored.Value(),
 		s.IncumbentUpdates.Value(), s.HeuristicWins.Value(),
 		s.RoundWarmHits.Value(), s.RoundWarmMisses.Value())
+	fmt.Fprintf(w, "model-cache: patch_hits=%d patch_misses=%d fallback_rebuilds=%d\n",
+		s.ModelPatchHits.Value(), s.ModelPatchMisses.Value(), s.FallbackRebuilds.Value())
 	fmt.Fprintf(w, "lp: solves=%d iters=%d dual_iters=%d refactorizations=%d workspace_reuses=%d warm_hits=%d warm_misses=%d\n",
 		l.Solves.Value(), l.Iterations.Value(), l.DualIterations.Value(),
 		l.Refactorizations.Value(), l.WorkspaceReuses.Value(),

@@ -38,6 +38,7 @@ var defaultSolveEntryPoints = []string{
 	"ras.System.SolveWith",
 	"ras/internal/backend.Backend.Solve",
 	"ras/internal/solver.Solve",
+	"ras/internal/solver.SolveWarm",
 	"ras/internal/solver.RepairTargets",
 	"ras/internal/solver.Evaluate",
 	"ras/internal/partition.Split",

@@ -250,6 +250,10 @@ var (
 		"ras/internal/solver",
 		"ras/internal/backend",
 		"ras/internal/partition",
+		// The broker's change journal feeds the solver's incremental model
+		// cache: retained snapshot/delta slices cross the SolveWith round
+		// boundary, so aliasing there is solve-correctness, not just style.
+		"ras/internal/broker",
 	}
 	defaultFloatScope = []string{
 		"ras/internal/lp",

@@ -134,6 +134,25 @@ func (p *Problem) SetBounds(j int, lo, up float64) {
 // Bounds reports the current bounds of variable j.
 func (p *Problem) Bounds(j int) (lo, up float64) { return p.lo[j], p.up[j] }
 
+// SetRHS replaces the right-hand side of row i in place — the model-patching
+// path of the RAS incremental build, where a resized demand changes C_r
+// without touching any row coefficients. Like SetBounds it may be called
+// between solves of the same problem: workspaces re-copy the RHS on entry,
+// and a retained basis is repaired by the dual simplex instead of being
+// discarded.
+func (p *Problem) SetRHS(i int, rhs float64) {
+	if i < 0 || i >= len(p.rows) {
+		panic(fmt.Sprintf("lp: SetRHS on unknown row %d", i))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		panic(fmt.Sprintf("lp: non-finite rhs %v", rhs))
+	}
+	p.rhs[i] = rhs
+}
+
+// RHS reports the current right-hand side of row i.
+func (p *Problem) RHS(i int) float64 { return p.rhs[i] }
+
 // Clone returns a copy of the problem whose bounds (and costs) can be
 // mutated independently of the original — the per-worker scratch state of a
 // parallel branch-and-bound search, where every worker tightens bounds on

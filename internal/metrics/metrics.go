@@ -281,6 +281,17 @@ var Solver struct {
 	// to a cold start.
 	RoundWarmHits   Counter
 	RoundWarmMisses Counter
+	// Incremental model build (solver model cache + broker deltas).
+	// ModelPatchHits counts rounds whose cached phase model was patched in
+	// place from a delta instead of rebuilt; ModelPatchMisses counts rounds
+	// that offered a delta but had no compatible cache to patch (first
+	// round, version gap, config change); FallbackRebuilds counts rounds
+	// where a cache and delta were present but the delta broke the model's
+	// structure (reservations created/deleted, symmetry groups appearing or
+	// emptying) and the round fell back to a cold rebuild.
+	ModelPatchHits   Counter
+	ModelPatchMisses Counter
+	FallbackRebuilds Counter
 	// POP partitioned solving (the "pop" backend). Partitions gauges the
 	// most recent solve's effective partition count k; PartitionSolves
 	// accumulates sub-MIP solves (k per pop round); RepairMoves accumulates

@@ -20,6 +20,7 @@ package mip
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"os"
 	"runtime"
@@ -84,6 +85,11 @@ type Model struct {
 
 	initial []float64    // optional warm-start point (may be partial: NaN = unset)
 	penalty map[Var]bool // soft-constraint slack variables (see MarkPenalty)
+
+	// revision counts structural growth (variables or constraints added).
+	// In-place patches — SetVarBounds, SetRHS, SetInitial — leave it
+	// untouched; see Revision.
+	revision int
 
 	// Column index caches for the repair heuristic, rebuilt lazily when the
 	// model grows.
@@ -150,6 +156,7 @@ func (m *Model) AddVar(name string, cost, lo, up float64) Var {
 	m.integer = append(m.integer, false)
 	m.names = append(m.names, name)
 	m.cost = append(m.cost, cost)
+	m.revision++
 	return Var(j)
 }
 
@@ -176,7 +183,91 @@ func (m *Model) AddConstr(name string, terms []Term, sense Sense, rhs float64) i
 	m.senses = append(m.senses, sense)
 	m.rhs = append(m.rhs, rhs)
 	m.rowNames = append(m.rowNames, name)
+	m.revision++
 	return len(m.rows) - 1
+}
+
+// Revision reports the model's structural revision: it increments whenever a
+// variable or constraint is added and is unchanged by the in-place patch
+// calls (SetVarBounds, SetRHS, SetInitial). Cross-round warm-start state
+// keyed to a revision therefore survives a patch — bound and RHS edits are
+// absorbed by the dual-simplex repair on the retained basis — but never
+// structural growth.
+func (m *Model) Revision() int { return m.revision }
+
+// SetVarBounds replaces v's root bounds in place (model-patching API): the
+// next Solve snapshots the new bounds as its root bounds. The model's
+// structure, and any warm-start basis exported for it, stays valid.
+func (m *Model) SetVarBounds(v Var, lo, up float64) { m.prob.SetBounds(int(v), lo, up) }
+
+// VarBounds reports v's current root bounds.
+func (m *Model) VarBounds(v Var) (lo, up float64) { return m.prob.Bounds(int(v)) }
+
+// SetRHS replaces the right-hand side of constraint row i in place
+// (model-patching API), keeping the row's coefficients, sense, and name —
+// the RAS incremental build's path for resized demands C_r.
+func (m *Model) SetRHS(i int, rhs float64) {
+	m.prob.SetRHS(i, rhs)
+	m.rhs[i] = rhs // evaluation mirror (feasibleIntegral, heuristics)
+}
+
+// RHS reports the current right-hand side of constraint row i.
+func (m *Model) RHS(i int) float64 { return m.rhs[i] }
+
+// Fingerprint hashes the model's entire solve-relevant content — variables
+// (bounds, costs, integrality, names), rows (coefficients, senses, RHS,
+// names), objective offset, warm-start point, and penalty marks — into one
+// uint64. Two models with equal fingerprints are interchangeable for Solve;
+// the solver's incremental-build property tests compare a patched model
+// against a cold rebuild this way.
+func (m *Model) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf []byte
+	w64 := func(u uint64) {
+		buf = append(buf, byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	ws := func(s string) { w64(uint64(len(s))); buf = append(buf, s...) }
+	w64(uint64(m.prob.NumVars()))
+	for j := 0; j < m.prob.NumVars(); j++ {
+		lo, up := m.prob.Bounds(j)
+		wf(lo)
+		wf(up)
+		wf(m.cost[j])
+		if m.integer[j] {
+			w64(1)
+		} else {
+			w64(0)
+		}
+		ws(m.names[j])
+	}
+	w64(uint64(len(m.rows)))
+	for i, row := range m.rows {
+		w64(uint64(len(row)))
+		for _, nz := range row {
+			w64(uint64(nz.Index))
+			wf(nz.Value)
+		}
+		w64(uint64(m.senses[i]))
+		wf(m.rhs[i])
+		ws(m.rowNames[i])
+	}
+	wf(m.objOffset)
+	w64(uint64(len(m.initial)))
+	for _, v := range m.initial {
+		wf(v)
+	}
+	pens := make([]int, 0, len(m.penalty))
+	for v := range m.penalty {
+		pens = append(pens, int(v))
+	}
+	sort.Ints(pens)
+	for _, v := range pens {
+		w64(uint64(v))
+	}
+	h.Write(buf) //raslint:allow errdrop hash.Hash documents that Write never returns an error
+	return h.Sum64()
 }
 
 // AddObjOffset adds a constant to the objective (bookkeeping only).

@@ -244,3 +244,25 @@ func (s *Store) Log() []Request {
 	defer s.mu.RUnlock()
 	return append([]Request(nil), s.log...)
 }
+
+// Version reports the capacity-request log length: a monotone counter that
+// identifies a point in the store's history, so ChangesSince can answer
+// "what was asked for since then" — the reservation-side half of the solver's
+// snapshot/delta protocol.
+func (s *Store) Version() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// ChangesSince returns a copy of the capacity requests logged after version
+// since (a previous Version result). An out-of-range since returns the whole
+// log — the conservative "everything changed" answer.
+func (s *Store) ChangesSince(since int) []Request {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if since < 0 || since > len(s.log) {
+		since = 0
+	}
+	return append([]Request(nil), s.log[since:]...)
+}

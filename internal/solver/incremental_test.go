@@ -1,0 +1,421 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ras/internal/broker"
+	"ras/internal/hardware"
+	"ras/internal/metrics"
+	"ras/internal/reservation"
+	"ras/internal/topology"
+)
+
+// mutator drives a seeded random change stream through a real broker and
+// reservation store — the same write paths production rounds see — so the
+// deltas the tests consume come from the journal protocol, not hand-built
+// fixtures.
+type mutator struct {
+	rng    *rand.Rand
+	b      *broker.Broker
+	st     *reservation.Store
+	region *topology.Region
+	live   []reservation.ID
+	now    int64
+}
+
+func newMutator(t *testing.T, region *topology.Region, seed int64, nRes int) *mutator {
+	t.Helper()
+	m := &mutator{
+		rng:    rand.New(rand.NewSource(seed)),
+		b:      broker.New(region),
+		st:     reservation.NewStore(),
+		region: region,
+	}
+	classes := []hardware.Class{hardware.Web, hardware.Feed1, hardware.DataStore}
+	for i := 0; i < nRes; i++ {
+		id, err := m.st.Create(reservation.Reservation{
+			Name:   "res",
+			Class:  classes[i%len(classes)],
+			RRUs:   4 + float64(i%5)*3,
+			Policy: reservation.DefaultPolicy(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.live = append(m.live, id)
+	}
+	// Seed a plausible current assignment so move hinges exist.
+	for i := range region.Servers {
+		if i%3 != 0 {
+			m.b.SetCurrent(topology.ServerID(i), m.live[i%len(m.live)])
+		}
+		if i%4 == 0 {
+			m.b.SetContainers(topology.ServerID(i), 2)
+		}
+	}
+	return m
+}
+
+// step applies 1–3 random non-structural mutations (fail, revive, resize,
+// container churn, rebinding). When structural is true it also creates or
+// deletes a reservation, which must force a fallback rebuild.
+func (m *mutator) step(structural bool) {
+	m.now++
+	n := 1 + m.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		id := topology.ServerID(m.rng.Intn(len(m.region.Servers)))
+		switch m.rng.Intn(5) {
+		case 0:
+			m.b.SetUnavailable(id, broker.RandomFailure, m.now, m.now+1000)
+		case 1:
+			m.b.ClearUnavailable(id, m.now)
+		case 2:
+			res := m.live[m.rng.Intn(len(m.live))]
+			_ = m.st.Resize(res, 2+float64(m.rng.Intn(12)))
+		case 3:
+			if m.b.State(id).Containers > 0 {
+				m.b.SetContainers(id, 0)
+			} else {
+				m.b.SetContainers(id, 2)
+			}
+		case 4:
+			m.b.SetCurrent(id, m.live[m.rng.Intn(len(m.live))])
+		}
+	}
+	if structural {
+		if len(m.live) > 2 && m.rng.Intn(2) == 0 {
+			k := m.rng.Intn(len(m.live))
+			_ = m.st.Delete(m.live[k])
+			m.live = append(m.live[:k], m.live[k+1:]...)
+		} else {
+			id, err := m.st.Create(reservation.Reservation{
+				Name:   "grown",
+				Class:  hardware.Web,
+				RRUs:   5,
+				Policy: reservation.DefaultPolicy(),
+			})
+			if err == nil {
+				m.live = append(m.live, id)
+			}
+		}
+	}
+}
+
+// deltaTracker mirrors ras.System's snapshot/delta bookkeeping.
+type deltaTracker struct {
+	lastStates uint64
+	lastStore  int
+	have       bool
+}
+
+func (dt *deltaTracker) input(m *mutator, withDelta bool) (Input, func()) {
+	storeV := m.st.Version()
+	states, v := m.b.SnapshotAt()
+	in := Input{Region: m.region, Reservations: m.st.All(), States: states, StatesVersion: v}
+	if withDelta && dt.have {
+		if changed, ok := m.b.ChangedSince(dt.lastStates); ok {
+			in.Delta = &Delta{
+				Since:        dt.lastStates,
+				Servers:      changed,
+				Reservations: m.st.ChangesSince(dt.lastStore),
+			}
+		}
+	}
+	return in, func() { dt.lastStates = v; dt.lastStore = storeV; dt.have = true }
+}
+
+// TestPatchMatchesColdRebuild is the core incremental-build property: after
+// every random delta, a cache patched in place must be bit-for-bit identical
+// to a cold rebuild of the same input — model fingerprint, group structure,
+// and initial counts. Rounds whose delta breaks structure must report so via
+// patch() == false rather than produce a wrong model.
+func TestPatchMatchesColdRebuild(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		rackLevel bool
+		buffer    float64
+	}{
+		{"phase1", false, -1},
+		{"phase1-buffer", false, 0.02},
+		{"rack", true, -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			region := testRegion(t, 2, 2, 4, 6, 41)
+			m := newMutator(t, region, 42, 6)
+			cfg := fastCfg()
+			cfg.SharedBufferFraction = tc.buffer
+			cfg = cfg.withDefaults(region)
+
+			var cached *builtPhase
+			patches, fallbacks := 0, 0
+			for round := 0; round < 40; round++ {
+				if round > 0 {
+					m.step(round%7 == 3)
+				}
+				states, v := m.b.SnapshotAt()
+				in := Input{Region: region, Reservations: m.st.All(), States: states, StatesVersion: v}
+				specs := buildSpecs(in, cfg)
+				pool := usableServers(in)
+				targets := make([]reservation.ID, len(region.Servers))
+				for i := range targets {
+					targets[i] = reservation.Unassigned
+					if tc.rackLevel && i%2 == 0 && !unusable(&states[i]) {
+						targets[i] = states[i].Current
+					}
+				}
+
+				var cold PhaseStats
+				want := buildPhase(in, cfg, specs, pool, targets, tc.rackLevel, &cold)
+				if cached != nil {
+					if cached.patch(in, cfg, specs, pool, targets) {
+						patches++
+						if got, w := cached.m.Fingerprint(), want.m.Fingerprint(); got != w {
+							t.Fatalf("round %d: patched fingerprint %x != cold %x", round, got, w)
+						}
+						compareStructure(t, round, cached, want)
+						// Keep solving on the patched model to mimic real use.
+					} else {
+						fallbacks++
+						cached = want
+					}
+				} else {
+					cached = want
+				}
+				cached.statesVersion = v
+			}
+			if patches == 0 {
+				t.Fatal("mutation stream never produced a patchable round")
+			}
+			if fallbacks == 0 {
+				t.Fatal("mutation stream never produced a fallback round")
+			}
+			t.Logf("%s: %d patches, %d fallbacks", tc.name, patches, fallbacks)
+		})
+	}
+}
+
+func compareStructure(t *testing.T, round int, got, want *builtPhase) {
+	t.Helper()
+	if len(got.groups) != len(want.groups) {
+		t.Fatalf("round %d: %d groups != cold %d", round, len(got.groups), len(want.groups))
+	}
+	for gi := range got.groups {
+		a, b := got.groups[gi], want.groups[gi]
+		if a.typeIdx != b.typeIdx || a.msb != b.msb || a.dc != b.dc || a.rack != b.rack ||
+			a.cur != b.cur || a.inUse != b.inUse || a.wear != b.wear {
+			t.Fatalf("round %d: group %d metadata diverged: %+v vs %+v", round, gi, a, b)
+		}
+		if len(a.servers) != len(b.servers) {
+			t.Fatalf("round %d: group %d has %d servers, cold %d", round, gi, len(a.servers), len(b.servers))
+		}
+		for k := range a.servers {
+			if a.servers[k] != b.servers[k] {
+				t.Fatalf("round %d: group %d member %d: %d vs %d", round, gi, k, a.servers[k], b.servers[k])
+			}
+		}
+		for si := range got.specs {
+			if !exactEqual(got.initCount[gi][si], want.initCount[gi][si]) {
+				t.Fatalf("round %d: initCount[%d][%d] = %v, cold %v",
+					round, gi, si, got.initCount[gi][si], want.initCount[gi][si])
+			}
+		}
+	}
+}
+
+// TestIncrementalSolveEquivalence runs two full SolveWarm sequences over the
+// same mutation stream — one handing the solver deltas (patching), one not
+// (rebuilding every round) — and requires identical objectives, targets, and
+// move accounting every round at Workers=1, plus at least one patched and
+// one fallback round so both paths are actually exercised.
+func TestIncrementalSolveEquivalence(t *testing.T) {
+	region := testRegion(t, 2, 2, 3, 5, 43)
+	mA := newMutator(t, region, 44, 5)
+	mB := newMutator(t, region, 44, 5)
+
+	cfg := fastCfg()
+	cfg.Workers = 1
+
+	var dtA, dtB deltaTracker
+	var warmA, warmB *WarmState
+
+	hits0 := metrics.Solver.ModelPatchHits.Value()
+	falls0 := metrics.Solver.FallbackRebuilds.Value()
+	patchedRounds := 0
+	for round := 0; round < 12; round++ {
+		if round > 0 {
+			mA.step(round == 6)
+			mB.step(round == 6)
+		}
+		inA, commitA := dtA.input(mA, true)
+		inB, commitB := dtB.input(mB, false)
+
+		resA, err := SolveWarm(context.Background(), inA, cfg, warmA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB, err := SolveWarm(context.Background(), inB, cfg, warmB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commitA()
+		commitB()
+		warmA, warmB = resA.Warm, resB.Warm
+
+		if resA.Phase1.ModelPatched {
+			patchedRounds++
+		}
+		if !exactEqual(resA.Phase1.Objective, resB.Phase1.Objective) {
+			t.Fatalf("round %d: phase-1 objective %v (delta) != %v (cold)",
+				round, resA.Phase1.Objective, resB.Phase1.Objective)
+		}
+		if !exactEqual(resA.Phase2.Objective, resB.Phase2.Objective) {
+			t.Fatalf("round %d: phase-2 objective %v (delta) != %v (cold)",
+				round, resA.Phase2.Objective, resB.Phase2.Objective)
+		}
+		if resA.Moves != resB.Moves {
+			t.Fatalf("round %d: moves %+v (delta) != %+v (cold)", round, resA.Moves, resB.Moves)
+		}
+		for i := range resA.Targets {
+			if resA.Targets[i] != resB.Targets[i] {
+				t.Fatalf("round %d: target[%d] = %d (delta) != %d (cold)",
+					round, i, resA.Targets[i], resB.Targets[i])
+			}
+		}
+		// Both sequences must apply their targets the same way so the next
+		// round's Current matches.
+		for i, tgt := range resA.Targets {
+			if mA.b.State(topology.ServerID(i)).Current != tgt && !unusable(ptrState(mA.b, i)) {
+				mA.b.SetCurrent(topology.ServerID(i), tgt)
+			}
+			if mB.b.State(topology.ServerID(i)).Current != resB.Targets[i] && !unusable(ptrState(mB.b, i)) {
+				mB.b.SetCurrent(topology.ServerID(i), resB.Targets[i])
+			}
+		}
+	}
+	if patchedRounds == 0 {
+		t.Fatal("no round used the patch path")
+	}
+	if metrics.Solver.ModelPatchHits.Value() == hits0 {
+		t.Fatal("ModelPatchHits counter did not move")
+	}
+	if metrics.Solver.FallbackRebuilds.Value() == falls0 {
+		t.Fatal("FallbackRebuilds counter did not move (structural round missing)")
+	}
+	t.Logf("patched rounds: %d", patchedRounds)
+}
+
+func ptrState(b *broker.Broker, i int) *broker.ServerState {
+	st := b.State(topology.ServerID(i))
+	return &st
+}
+
+// TestParallelColdBuildDeterministic verifies the sharded cold build: the
+// same input must produce fingerprint-identical models at every worker
+// count, including on a matrix large enough to engage the parallel path.
+func TestParallelColdBuildDeterministic(t *testing.T) {
+	region := testRegion(t, 2, 2, 8, 16, 45)
+	m := newMutator(t, region, 46, 8)
+	states, v := m.b.SnapshotAt()
+	in := Input{Region: region, Reservations: m.st.All(), States: states, StatesVersion: v}
+
+	base := fastCfg()
+	base.DisableSymmetry = true // one group per server: forces nG·nS past the parallel threshold
+	targetsFor := func() []reservation.ID {
+		targets := make([]reservation.ID, len(region.Servers))
+		for i := range targets {
+			targets[i] = reservation.Unassigned
+		}
+		return targets
+	}
+
+	var fp1 uint64
+	for _, workers := range []int{1, 2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		cfg = cfg.withDefaults(region)
+		specs := buildSpecs(in, cfg)
+		pool := usableServers(in)
+		if nG := len(pool); nG*len(specs) < parallelBuildMin && workers > 1 {
+			t.Fatalf("test region too small to engage parallel build: %d cells", nG*len(specs))
+		}
+		var stats PhaseStats
+		bp := buildPhase(in, cfg, specs, pool, targetsFor(), false, &stats)
+		fp := bp.m.Fingerprint()
+		if workers == 1 {
+			fp1 = fp
+		} else if fp != fp1 {
+			t.Fatalf("workers=%d fingerprint %x != workers=1 %x", workers, fp, fp1)
+		}
+	}
+}
+
+// TestPatchRepeatDeterministic re-runs an identical patch sequence and
+// requires bitwise-identical fingerprints run over run.
+func TestPatchRepeatDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		region := testRegion(t, 1, 2, 4, 6, 47)
+		m := newMutator(t, region, 48, 5)
+		cfg := fastCfg().withDefaults(region)
+		var fps []uint64
+		var cached *builtPhase
+		for round := 0; round < 15; round++ {
+			if round > 0 {
+				m.step(false)
+			}
+			states, v := m.b.SnapshotAt()
+			in := Input{Region: region, Reservations: m.st.All(), States: states, StatesVersion: v}
+			specs := buildSpecs(in, cfg)
+			pool := usableServers(in)
+			targets := make([]reservation.ID, len(region.Servers))
+			for i := range targets {
+				targets[i] = reservation.Unassigned
+			}
+			if cached == nil || !cached.patch(in, cfg, specs, pool, targets) {
+				var stats PhaseStats
+				cached = buildPhase(in, cfg, specs, pool, targets, false, &stats)
+			}
+			fps = append(fps, cached.m.Fingerprint())
+		}
+		return fps
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d fingerprint differs across runs: %x vs %x", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPatchedModelSolves sanity-checks that a patched model actually solves
+// and realizes a consistent assignment (capacity served, no overcounting).
+func TestPatchedModelSolves(t *testing.T) {
+	region := testRegion(t, 1, 2, 4, 8, 49)
+	m := newMutator(t, region, 50, 4)
+	cfg := fastCfg()
+	cfg.Workers = 1
+	var dt deltaTracker
+	var warm *WarmState
+	for round := 0; round < 6; round++ {
+		if round > 0 {
+			m.step(false)
+		}
+		in, commit := dt.input(m, true)
+		res, err := SolveWarm(context.Background(), in, cfg, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commit()
+		warm = res.Warm
+		for _, r := range in.Reservations {
+			got := rruOf(region, res.Targets, &r)
+			if got+res.Phase1.SoftSlack+math.SmallestNonzeroFloat64 < r.RRUs &&
+				res.Phase1.SoftSlack == 0 {
+				t.Fatalf("round %d: reservation %d got %.1f of %.1f RRUs with no slack",
+					round, r.ID, got, r.RRUs)
+			}
+		}
+	}
+}

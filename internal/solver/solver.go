@@ -212,6 +212,12 @@ func (w *PhaseWarm) matches(vars, rows int) bool {
 type WarmState struct {
 	Phase1 PhaseWarm
 	Phase2 PhaseWarm
+	// Cache holds the per-phase built models for the incremental build: when
+	// the next round arrives with a Delta whose Since matches the cached
+	// round's StatesVersion, each phase patches its cached model in place
+	// instead of rebuilding it. The cache is mutated by every solve, so a
+	// WarmState must feed at most one solve at a time.
+	Cache *ModelCache
 }
 
 // Input is one solve's snapshot of the world (Figure 6 step 2).
@@ -229,6 +235,17 @@ type Input struct {
 	// Targets outside the subset stay reservation.Unassigned. IDs must be
 	// ascending and duplicate-free. nil solves the whole region.
 	Subset []topology.ServerID
+	// StatesVersion is the broker snapshot version States was taken at
+	// (broker.SnapshotAt). Zero means "unversioned": the round solves fine
+	// but its models cannot serve as a patch base for later deltas.
+	StatesVersion uint64
+	// Delta, when non-nil, describes what changed since the round whose
+	// StatesVersion equals Delta.Since, opting this round into the
+	// incremental model build: phases with a cached model from that round
+	// patch it in place and fall back to a cold rebuild when the delta
+	// breaks model structure. nil always rebuilds. Region topology must be
+	// unchanged between the rounds (the same *Region pointer).
+	Delta *Delta
 }
 
 // subsetMask materializes Subset as a per-server bitmap (nil when the whole
@@ -297,6 +314,10 @@ type PhaseStats struct {
 	// cross-round warm start saved.
 	RootLPIters int
 	WarmRoot    bool
+	// ModelPatched reports that this phase's model was patched in place
+	// from the previous round's cache instead of rebuilt; RASBuild and
+	// InitialState are then zero and SolverBuild is the patch time.
+	ModelPatched bool
 	// Workers is the resolved branch-and-bound worker count the phase ran
 	// with; IncumbentUpdates and HeuristicWins break down where its
 	// incumbents came from (see mip.Result).
@@ -419,14 +440,21 @@ func SolveWarm(ctx context.Context, in Input, cfg Config, warm *WarmState) (*Res
 	specs := buildSpecs(in, cfg)
 	res.Warm = &WarmState{}
 	var w1, w2 *PhaseWarm
+	var cache *ModelCache
 	if warm != nil {
 		w1, w2 = &warm.Phase1, &warm.Phase2
+		cache = warm.Cache
 	}
+	if cache == nil {
+		cache = &ModelCache{}
+	}
+	res.Warm.Cache = cache
 
 	// ---- Phase 1: whole region, MSB granularity (or rack granularity
 	// when the single-phase ablation is on). ------------------------------
 	pool := usableServers(in)
-	p1 := solvePhase(ctx, in, cfg, specs, pool, res.Targets, cfg.RackGoalsInPhase1, cfg.Phase1TimeLimit, w1)
+	p1, bp1 := solvePhase(ctx, in, cfg, specs, pool, res.Targets, cfg.RackGoalsInPhase1, cfg.Phase1TimeLimit, w1, cache.phase1)
+	cache.phase1 = bp1
 	res.Phase1 = p1.stats
 	res.Warm.Phase1 = p1.warm
 	realize(in, specs, p1, res.Targets)
@@ -451,7 +479,8 @@ func SolveWarm(ctx context.Context, in Input, cfg Config, warm *WarmState) (*Res
 					pool2 = append(pool2, id)
 				}
 			}
-			p2 := solvePhase(ctx, in, cfg, specs2, pool2, res.Targets, true, cfg.Phase2TimeLimit, w2)
+			p2, bp2 := solvePhase(ctx, in, cfg, specs2, pool2, res.Targets, true, cfg.Phase2TimeLimit, w2, cache.phase2)
+			cache.phase2 = bp2
 			res.Phase2 = p2.stats
 			res.Warm.Phase2 = p2.warm
 			res.RanPhase2 = true
@@ -643,320 +672,75 @@ type phaseOutput struct {
 	warm PhaseWarm
 }
 
-// solvePhase builds and solves one phase's MIP over the given server pool.
-// rackLevel selects the grouping granularity and enables expression 2.
-// targets carries phase-1 intent (used for warm starts in phase 2).
+// solvePhase builds (or patches) and solves one phase's MIP over the given
+// server pool. rackLevel selects the grouping granularity and enables
+// expression 2. targets carries phase-1 intent (used for warm starts in
+// phase 2). cached is the phase's model from an earlier round (nil solves
+// cold); the returned builtPhase is the cache to carry forward — the patched
+// or freshly built model.
 //
 // The phase deadline is derived from the parent context: the MIP stops at
 // the earlier of now+limit and the parent's own deadline, and parent
 // cancellation aborts the search immediately.
 func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool []topology.ServerID,
-	targets []reservation.ID, rackLevel bool, limit time.Duration, pw *PhaseWarm) *phaseOutput {
+	targets []reservation.ID, rackLevel bool, limit time.Duration, pw *PhaseWarm,
+	cached *builtPhase) (*phaseOutput, *builtPhase) {
 
 	phaseCtx, cancel := context.WithTimeout(ctx, limit)
 	defer cancel()
 
 	out := &phaseOutput{specs: specs}
 
-	// ---------------- RAS build: grouping & constants. -------------------
-	t0 := clock.Now()
-	out.groups = groupServers(in, pool, rackLevel, cfg.DisableSymmetry, cfg.WearPenalty > 0)
-	cat := in.Region.Catalog
-
-	// Per-(group, spec) RRU values and eligibility.
-	nG, nS := len(out.groups), len(specs)
-	vval := make([][]float64, nG)
-	for gi, g := range out.groups {
-		vval[gi] = make([]float64, nS)
-		for si := range specs {
-			s := &specs[si]
-			if s.res.Policy.SingleDC >= 0 && g.dc != s.res.Policy.SingleDC {
-				continue
-			}
-			vval[gi][si] = rruValue(cat, g.typeIdx, s)
-		}
-	}
-	out.stats.RASBuild = clock.Since(t0)
-
-	// ---------------- Initial state. -------------------------------------
-	t0 = clock.Now()
-	// Initial count X[g][s]: servers of g currently in spec s. The "current"
-	// reference is the broker's Current in phase 1 and the phase-1 target in
-	// phase 2, so phase 2 warm-starts from the phase-1 solution.
-	initCount := make([][]float64, nG)
-	specByID := make(map[reservation.ID][]int, nS)
-	for si := range specs {
-		specByID[specs[si].outID] = append(specByID[specs[si].outID], si)
-	}
-	for gi, g := range out.groups {
-		initCount[gi] = make([]float64, nS)
-		for _, id := range g.servers {
-			cur := in.States[id].Current
-			if rackLevel {
-				cur = targets[id]
-			}
-			cands := specByID[cur]
-			// Buffer specs share an outID; pick the one matching the type.
-			for _, si := range cands {
-				if vval[gi][si] > 0 {
-					initCount[gi][si]++
-					break
-				}
+	// ---------------- Incremental build: patch or rebuild. ----------------
+	bp := cached
+	patched := false
+	if in.Delta != nil {
+		switch {
+		case bp == nil || in.StatesVersion == 0 || bp.statesVersion != in.Delta.Since:
+			metrics.Solver.ModelPatchMisses.Add(1)
+		case in.Delta.structural():
+			metrics.Solver.FallbackRebuilds.Add(1)
+		default:
+			t0 := clock.Now()
+			patched = bp.patch(in, cfg, specs, pool, targets)
+			if patched {
+				out.stats.SolverBuild = clock.Since(t0)
+				out.stats.ModelPatched = true
+				metrics.Solver.ModelPatchHits.Add(1)
+			} else {
+				metrics.Solver.FallbackRebuilds.Add(1)
 			}
 		}
 	}
-	out.stats.InitialState = clock.Since(t0)
-
-	// ---------------- Solver build: the MIP. ------------------------------
-	t0 = clock.Now()
-	m := mip.NewModel()
-	var initX []float64 // warm-start values, parallel to model variables
-	addVar := func(v mip.Var, init float64) {
-		if int(v) != len(initX) {
-			panic("solver: variable/init bookkeeping out of sync")
-		}
-		initX = append(initX, init)
+	if !patched {
+		bp = buildPhase(in, cfg, specs, pool, targets, rackLevel, &out.stats)
 	}
+	bp.statesVersion = in.StatesVersion
 
-	nVar := make([][]mip.Var, nG) // assignment count variables; -1 if absent
-	for gi := range nVar {
-		nVar[gi] = make([]mip.Var, nS)
-		for si := range nVar[gi] {
-			nVar[gi][si] = -1
-		}
-	}
-	for gi, g := range out.groups {
-		for si := range specs {
-			if vval[gi][si] <= 0 {
-				continue
-			}
-			// IO-aware placement (§5.2): worn flash assigned to a
-			// flash-consuming reservation carries a per-server cost.
-			wearCost := 0.0
-			if cfg.WearPenalty > 0 && g.wear > 0 && cat.Type(g.typeIdx).FlashTB > 0 && !specs[si].isBuffer {
-				wearCost = cfg.WearPenalty * float64(g.wear)
-			}
-			v := m.AddIntVar(fmt.Sprintf("n[g%d,%s]", gi, specs[si].res.Name),
-				wearCost, 0, float64(len(g.servers)))
-			addVar(v, initCount[gi][si])
-			nVar[gi][si] = v
-			out.stats.AssignVars++
-		}
-	}
-
-	// (5) assignment: Σ_s n_{g,s} ≤ |g|.
-	for gi, g := range out.groups {
-		var terms []mip.Term
-		for si := range specs {
-			if nVar[gi][si] >= 0 {
-				terms = append(terms, mip.Term{Var: nVar[gi][si], Coef: 1})
-			}
-		}
-		if terms != nil {
-			m.AddConstr(fmt.Sprintf("assign[g%d]", gi), terms, mip.LE, float64(len(g.servers)))
-		}
-	}
-
-	// (1) stability: cost M · max(0, X − n) per (group, spec) with X > 0.
-	for gi, g := range out.groups {
-		mcost := cfg.MoveCostIdle
-		if g.inUse {
-			mcost = cfg.MoveCostInUse
-		}
-		for si := range specs {
-			x0 := initCount[gi][si]
-			if x0 <= 0 || nVar[gi][si] < 0 {
-				continue
-			}
-			initVal := 0.0 // warm start keeps X servers, so max(0, X−n) = 0
-			y := m.AddPosPart(fmt.Sprintf("move[g%d,s%d]", gi, si),
-				[]mip.Term{{Var: nVar[gi][si], Coef: -1}}, x0, mcost)
-			addVar(y, initVal)
-		}
-	}
-
-	// Per-spec structures: MSB sums, envelope, capacity, spread, affinity.
-	msbGroups := make(map[int][]int, 64) // msb → group indices
-	for gi, g := range out.groups {
-		msbGroups[g.msb] = append(msbGroups[g.msb], gi)
-	}
-	rackGroups := make(map[int][]int, 256)
-	if rackLevel {
-		for gi, g := range out.groups {
-			rackGroups[g.rack] = append(rackGroups[g.rack], gi)
-		}
-	}
-	dcGroups := make(map[int][]int, 8)
-	for gi, g := range out.groups {
-		dcGroups[g.dc] = append(dcGroups[g.dc], gi)
-	}
-	msbs := sortedKeys(msbGroups)
-	racks := sortedKeys(rackGroups)
-
-	var capSlackVars []mip.Var
-	var affSlackVars []mip.Var
-
-	for si := range specs {
-		s := &specs[si]
-		cr := s.res.RRUs
-		if cr <= 0 {
-			continue
-		}
-
-		// Terms and initial sums per scope.
-		sumTerms := func(gis []int) ([]mip.Term, float64) {
-			var terms []mip.Term
-			initSum := 0.0
-			for _, gi := range gis {
-				if nVar[gi][si] < 0 {
-					continue
-				}
-				terms = append(terms, mip.Term{Var: nVar[gi][si], Coef: vval[gi][si]})
-				initSum += vval[gi][si] * initCount[gi][si]
-			}
-			return terms, initSum
-		}
-
-		var all []int
-		for gi := range out.groups {
-			all = append(all, gi)
-		}
-		totalTerms, initTotal := sumTerms(all)
-		if totalTerms == nil {
-			// Nothing in the region can serve this request: report the
-			// rejection instead of silently dropping the constraint.
-			out.stats.SoftSlack += cr
-			out.stats.Unserviceable = append(out.stats.Unserviceable,
-				fmt.Sprintf("%s: no usable eligible server (class %v, %d eligible types, singleDC %d)",
-					s.res.Name, s.res.Class, len(s.res.EligibleTypes), s.res.Policy.SingleDC))
-			continue
-		}
-
-		// (4)+(6): envelope z ≥ per-MSB sum, cost τ; capacity row uses z.
-		// Shared-buffer specs skip the embedded buffer (they *are* buffer).
-		var env mip.Var = -1
-		initEnv := 0.0
-		alphaF := s.res.Policy.SpreadMSB
-		if exactZero(alphaF) {
-			alphaF = cfg.AlphaMSB
-		}
-		if !s.isBuffer {
-			var groupsPerMSB [][]mip.Term
-			for _, msb := range msbs {
-				terms, isum := sumTerms(msbGroups[msb])
-				if terms == nil {
-					continue
-				}
-				groupsPerMSB = append(groupsPerMSB, terms)
-				if isum > initEnv {
-					initEnv = isum
-				}
-			}
-			if groupsPerMSB != nil {
-				env = m.AddUpperEnvelope(fmt.Sprintf("maxmsb[s%d]", si), groupsPerMSB, cfg.Tau)
-				addVar(env, initEnv)
-			}
-
-			// (3) MSB spread: β · max(0, Σ − αF·C).
-			for _, msb := range msbs {
-				terms, isum := sumTerms(msbGroups[msb])
-				if terms == nil {
-					continue
-				}
-				y := m.AddPosPart(fmt.Sprintf("spreadF[s%d,m%d]", si, msb),
-					terms, -alphaF*cr, cfg.Beta)
-				addVar(y, math.Max(0, isum-alphaF*cr))
-			}
-
-			// (2) rack spread, phase 2 only.
-			if rackLevel {
-				alphaK := s.res.Policy.SpreadRack
-				if exactZero(alphaK) {
-					alphaK = cfg.AlphaRack
-				}
-				for _, rk := range racks {
-					terms, isum := sumTerms(rackGroups[rk])
-					if terms == nil {
-						continue
-					}
-					y := m.AddPosPart(fmt.Sprintf("spreadK[s%d,r%d]", si, rk),
-						terms, -alphaK*cr, cfg.Beta)
-					addVar(y, math.Max(0, isum-alphaK*cr))
-				}
-			}
-		}
-
-		// (6) capacity with embedded buffer, softened: Σ V·n − z + slack ≥ C.
-		capTerms := append([]mip.Term(nil), totalTerms...)
-		initLHS := initTotal
-		if env >= 0 {
-			capTerms = append(capTerms, mip.Term{Var: env, Coef: -1})
-			initLHS -= initEnv
-		}
-		violation := math.Max(0, cr-initLHS)
-		if violation > 0 {
-			slack := m.AddVar(fmt.Sprintf("capslack[s%d]", si), cfg.SoftPenalty, 0, violation)
-			m.MarkPenalty(slack)
-			addVar(slack, violation)
-			capTerms = append(capTerms, mip.Term{Var: slack, Coef: 1})
-			capSlackVars = append(capSlackVars, slack)
-		}
-		m.AddConstr(fmt.Sprintf("capacity[s%d]", si), capTerms, mip.GE, cr)
-
-		// (7) network affinity per DC, softened symmetrically.
-		if len(s.res.Policy.DCAffinity) > 0 {
-			theta := s.res.Policy.AffinityTheta
-			if exactZero(theta) {
-				theta = cfg.AffinityTheta
-			}
-			for dc := 0; dc < in.Region.NumDCs; dc++ {
-				a, ok := s.res.Policy.DCAffinity[dc]
-				if !ok {
-					a = 0
-				}
-				terms, isum := sumTerms(dcGroups[dc])
-				if terms == nil {
-					if a > theta {
-						// Impossible affinity; leave to slack-free soft fail.
-						continue
-					}
-					continue
-				}
-				hi := a*cr + theta*cr
-				lo := a*cr - theta*cr
-				viol := math.Max(math.Max(0, isum-hi), math.Max(0, lo-isum))
-				// Soften with "no regress beyond the initial violation"
-				// semantics (§3.5.1), plus a two-server allowance for the
-				// discrete granularity of count variables: a hard row made
-				// purely of integer variables would leave rounding
-				// heuristics no room to breathe.
-				slackUB := viol + 2
-				sl := m.AddVar(fmt.Sprintf("affslack[s%d,d%d]", si, dc),
-					cfg.SoftPenalty, 0, slackUB)
-				m.MarkPenalty(sl)
-				addVar(sl, viol)
-				affSlackVars = append(affSlackVars, sl)
-				up := append(append([]mip.Term(nil), terms...), mip.Term{Var: sl, Coef: -1})
-				m.AddConstr(fmt.Sprintf("aff-hi[s%d,d%d]", si, dc), up, mip.LE, hi)
-				dn := append(append([]mip.Term(nil), terms...), mip.Term{Var: sl, Coef: 1})
-				m.AddConstr(fmt.Sprintf("aff-lo[s%d,d%d]", si, dc), dn, mip.GE, lo)
-			}
-		}
-	}
-
-	m.SetInitial(initX)
+	m := bp.m
+	nG, nS := len(bp.groups), len(specs)
+	out.groups = bp.groups
+	out.stats.AssignVars = bp.assignVars
+	out.stats.Groups = nG
 	out.stats.ModelVars = m.NumVars()
 	out.stats.ModelRows = m.NumConstrs()
-	out.stats.Groups = nG
-	out.stats.SolverBuild = clock.Since(t0)
+	for si := range bp.sp {
+		if bp.sp[si].unserviceable {
+			out.stats.SoftSlack += bp.specs[si].res.RRUs
+			out.stats.Unserviceable = append(out.stats.Unserviceable, bp.sp[si].unservMsg)
+		}
+	}
 
 	// ---------------- MIP step. -------------------------------------------
-	out.counts = initCount // fall back to "no change" if the MIP is skipped
+	// Fall back to "no change" if the MIP is skipped. This aliases the
+	// cache's live count matrix, which stays untouched until the next
+	// round's patch — realize consumes it within the current round.
+	out.counts = bp.initCount
 	if cfg.SetupOnly {
 		out.stats.Status = mip.NoSolution
-		return out
+		return out, bp
 	}
-	t0 = clock.Now()
+	t0 := clock.Now()
 	// Cross-round warm start: a basis exported by the previous round seeds
 	// this round's root relaxation, but only when the freshly built model has
 	// the exact shape the basis belongs to; any drift falls back to cold.
@@ -1003,55 +787,37 @@ func solvePhase(ctx context.Context, in Input, cfg Config, specs []resSpec, pool
 		for gi := range out.groups {
 			counts[gi] = make([]float64, nS)
 			for si := range specs {
-				if nVar[gi][si] >= 0 {
-					counts[gi][si] = math.Round(r.X[nVar[gi][si]])
+				if bp.nVar[gi][si] >= 0 {
+					counts[gi][si] = math.Round(r.X[bp.nVar[gi][si]])
 				}
 			}
 		}
 		out.counts = counts
-		for _, sv := range capSlackVars {
+		for _, sv := range bp.capSlackVars {
 			out.stats.SoftSlack += r.X[sv]
 			if debugSlack && r.X[sv] > 1e-6 {
 				fmt.Printf("SLACK %s = %.3f\n", m.VarName(sv), r.X[sv])
 			}
 		}
-		for _, sv := range affSlackVars {
+		for _, sv := range bp.affSlackVars {
 			out.stats.SoftSlack += r.X[sv]
 		}
 	}
-	return out
+	return out, bp
 }
 
-// groupServers computes the symmetry equivalence classes of the pool.
-func groupServers(in Input, pool []topology.ServerID, rackLevel, noSymmetry, wearAware bool) []*group {
-	type key struct {
-		typeIdx int
-		scope   int // MSB or rack index
-		cur     reservation.ID
-		inUse   bool
-		wear    int               // wear bucket; 0 unless wear-aware placement is on
-		server  topology.ServerID // set only when symmetry is disabled
-	}
-	byKey := make(map[key]*group, 256)
-	var order []key
+// groupServers computes the symmetry equivalence classes of the pool,
+// returning them in their deterministic model order plus the key → index
+// map the incremental patch uses to route servers between classes.
+func groupServers(in Input, pool []topology.ServerID, rackLevel, noSymmetry, wearAware bool) ([]*group, map[groupKey]int) {
+	byKey := make(map[groupKey]*group, 256)
+	var order []groupKey
 	for _, id := range pool {
-		srv := &in.Region.Servers[id]
-		st := &in.States[id]
-		inUse := st.Containers > 0 && st.LoanedTo == reservation.Unassigned
-		scope := srv.MSB
-		if rackLevel {
-			scope = srv.Rack
-		}
-		k := key{typeIdx: srv.Type, scope: scope, cur: st.Current, inUse: inUse, server: -1}
-		if noSymmetry {
-			k.server = id
-		}
-		if wearAware && in.Region.Catalog.Type(srv.Type).FlashTB > 0 {
-			k.wear = wearBucket(st.FlashWear)
-		}
+		k := serverKey(in, id, rackLevel, noSymmetry, wearAware)
 		g, ok := byKey[k]
 		if !ok {
-			g = &group{typeIdx: srv.Type, msb: srv.MSB, dc: srv.DC, rack: -1, cur: st.Current, inUse: inUse, wear: k.wear}
+			srv := &in.Region.Servers[id]
+			g = &group{typeIdx: srv.Type, msb: srv.MSB, dc: srv.DC, rack: -1, cur: k.cur, inUse: k.inUse, wear: k.wear}
 			if rackLevel {
 				g.rack = srv.Rack
 			}
@@ -1060,6 +826,10 @@ func groupServers(in Input, pool []topology.ServerID, rackLevel, noSymmetry, wea
 		}
 		g.servers = append(g.servers, id)
 	}
+	// The comparator is total over the key (wear and server break the
+	// remaining ties), so the group order is a pure function of the key set:
+	// a patched cache and a cold rebuild agree on group indices no matter
+	// what order the pool produced the keys in.
 	sort.Slice(order, func(i, j int) bool {
 		a, b := order[i], order[j]
 		if a.scope != b.scope {
@@ -1071,13 +841,21 @@ func groupServers(in Input, pool []topology.ServerID, rackLevel, noSymmetry, wea
 		if a.cur != b.cur {
 			return a.cur < b.cur
 		}
-		return !a.inUse && b.inUse
+		if a.inUse != b.inUse {
+			return !a.inUse
+		}
+		if a.wear != b.wear {
+			return a.wear < b.wear
+		}
+		return a.server < b.server
 	})
 	groups := make([]*group, 0, len(order))
+	idx := make(map[groupKey]int, len(order))
 	for _, k := range order {
+		idx[k] = len(groups)
 		groups = append(groups, byKey[k])
 	}
-	return groups
+	return groups, idx
 }
 
 // realize distributes solved group counts onto concrete servers, writing

@@ -402,7 +402,7 @@ func TestGroupSymmetryReduction(t *testing.T) {
 	region := testRegion(t, 1, 2, 10, 10, 15)
 	in := freshInput(region, nil)
 	pool := usableServers(in)
-	groups := groupServers(in, pool, false, false, false)
+	groups, _ := groupServers(in, pool, false, false, false)
 	if len(groups) >= len(region.Servers)/2 {
 		t.Fatalf("grouping achieved no reduction: %d groups for %d servers",
 			len(groups), len(region.Servers))
@@ -420,8 +420,8 @@ func TestGroupRackLevelFinerThanMSB(t *testing.T) {
 	region := testRegion(t, 1, 2, 6, 4, 16)
 	in := freshInput(region, nil)
 	pool := usableServers(in)
-	coarse := groupServers(in, pool, false, false, false)
-	fine := groupServers(in, pool, true, false, false)
+	coarse, _ := groupServers(in, pool, false, false, false)
+	fine, _ := groupServers(in, pool, true, false, false)
 	if len(fine) < len(coarse) {
 		t.Fatalf("rack-level grouping (%d) must be at least as fine as MSB-level (%d)",
 			len(fine), len(coarse))
@@ -436,7 +436,7 @@ func TestRealizeKeepsCurrentMembers(t *testing.T) {
 		in.States[i].Current = 5
 	}
 	pool := usableServers(in)
-	groups := groupServers(in, pool, false, false, false)
+	groups, _ := groupServers(in, pool, false, false, false)
 	specs := []resSpec{{
 		res:        reservation.Reservation{ID: 5, Name: "r", Class: hardware.Web, RRUs: 3, CountBased: true},
 		outID:      5,

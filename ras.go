@@ -160,6 +160,14 @@ type System struct {
 	// problem whose shape drifted falls back to a cold solve inside the
 	// backend, so the round's outcome is never at risk.
 	warm *backend.WarmState
+	// lastStatesVersion / lastStoreVersion identify the snapshots the last
+	// solve consumed, and haveDelta records that they are valid — together
+	// they let the next round hand the solver a Delta (broker journal plus
+	// capacity-request log since then) so it can patch its cached phase
+	// models instead of rebuilding them.
+	lastStatesVersion uint64
+	lastStoreVersion  int
+	haveDelta         bool
 }
 
 // NewSystem wires a System over the region.
@@ -270,10 +278,26 @@ func (s *System) SolveWith(ctx context.Context, now Clock, backendName string) (
 	if err != nil {
 		return nil, err
 	}
+	storeVersion := s.store.Version()
+	states, statesVersion := s.broker.SnapshotAt()
 	in := solver.Input{
-		Region:       s.region,
-		Reservations: s.store.All(),
-		States:       s.broker.Snapshot(),
+		Region:        s.region,
+		Reservations:  s.store.All(),
+		States:        states,
+		StatesVersion: statesVersion,
+	}
+	// Broker-delta protocol: when a previous round established a snapshot
+	// version, describe what changed since so the solver's incremental
+	// build can patch its cached models. A journal gap (ChangedSince !ok)
+	// means the change set is unknown — solve without a delta.
+	if s.haveDelta {
+		if changed, ok := s.broker.ChangedSince(s.lastStatesVersion); ok {
+			in.Delta = &solver.Delta{
+				Since:        s.lastStatesVersion,
+				Servers:      changed,
+				Reservations: s.store.ChangesSince(s.lastStoreVersion),
+			}
+		}
 	}
 	res, err := be.Solve(ctx, in, backend.Options{
 		Workers: s.opts.Workers, Partitions: s.opts.Partitions, Warm: s.warm,
@@ -288,6 +312,9 @@ func (s *System) SolveWith(ctx context.Context, now Clock, backendName string) (
 	}
 	s.lastSolve = res
 	s.warm = res.Warm
+	s.lastStatesVersion = statesVersion
+	s.lastStoreVersion = storeVersion
+	s.haveDelta = true
 	return res, nil
 }
 
